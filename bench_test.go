@@ -1,0 +1,190 @@
+package vasppower_test
+
+// Benchmark harness: one testing.B benchmark per table/figure of the
+// paper, each regenerating that experiment end to end (workload
+// generation, simulated execution, telemetry sampling, and the
+// statistical analysis). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The per-iteration wall time is the cost of regenerating the whole
+// experiment; cmd/powerstudy prints the actual figures.
+
+import (
+	"testing"
+
+	"vasppower/internal/experiments"
+)
+
+// benchCfg is the quick configuration: trimmed sweeps, one repeat —
+// enough to exercise every code path of each figure.
+func benchCfg() experiments.Config {
+	return experiments.Config{Seed: 42, Quick: true, Repeats: 1}
+}
+
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTableI(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig1ProtocolRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.ResetCache()
+		if _, err := experiments.RunFig1(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2SamplingRates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.ResetCache()
+		if _, err := experiments.RunFig2(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3Timelines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.ResetCache()
+		if _, err := experiments.RunFig3(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4And5Scaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.ResetCache()
+		if _, err := experiments.RunScaling(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6SizeSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.ResetCache()
+		if _, err := experiments.RunFig6(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7ParameterSweeps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.ResetCache()
+		if _, err := experiments.RunFig7(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8Concurrency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.ResetCache()
+		if _, err := experiments.RunFig8(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9MethodViolins(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.ResetCache()
+		if _, err := experiments.RunFig9(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10And12CapStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.ResetCache()
+		if _, err := experiments.RunCapStudy(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11CapTimeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.ResetCache()
+		if _, err := experiments.RunFig11(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig13CapsAcrossNodeCounts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.ResetCache()
+		if _, err := experiments.RunFig13(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtScheduler(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunExtScheduler(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtRepeats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunExtRepeats(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtCDVFSVsCapping(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.ResetCache()
+		if _, err := experiments.RunExtC(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtDPowerPrediction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.ResetCache()
+		if _, err := experiments.RunExtD(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtEMILC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunExtE(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtFSignatureClustering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.ResetCache()
+		if _, err := experiments.RunExtF(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtGMetricAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.ResetCache()
+		if _, err := experiments.RunExtG(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

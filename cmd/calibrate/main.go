@@ -1,0 +1,74 @@
+// Command calibrate prints the model's power/performance landing
+// points against the paper's published targets, for tuning the
+// workload-model constants.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"vasppower/internal/core"
+	"vasppower/internal/workloads"
+)
+
+func main() {
+	fmt.Println("=== Table I benchmarks @ 1 node (targets: node mode 766..1814 W) ===")
+	fmt.Printf("%-14s %9s %9s %9s %8s %8s %8s\n",
+		"bench", "runtime", "nodeMode", "gpuMode", "gpuShare", "cpumem%", "meanNode")
+	targets := map[string]float64{
+		"Si256_hse": 1810, "B.hR105_hse": 1430, "PdO4": 1150, "PdO2": 1000,
+		"GaAsBi-64": 766, "CuC_vdw": 950, "Si128_acfdtr": 1814,
+	}
+	for _, b := range workloads.TableI() {
+		jp, err := core.MeasureBenchmark(b, 1, 1, 0, 42)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", b.Name, err)
+			continue
+		}
+		nodeMode := 0.0
+		if jp.NodeTotal.HasMode {
+			nodeMode = jp.NodeTotal.HighMode.X
+		}
+		gpuMode := 0.0
+		if jp.GPUs[0].HasMode {
+			gpuMode = jp.GPUs[0].HighMode.X
+		}
+		fmt.Printf("%-14s %8.0fs %6.0f W (tgt %4.0f) %6.0f W %7.1f%% %7.1f%% %7.0f W\n",
+			b.Name, jp.Runtime, nodeMode, targets[b.Name], gpuMode,
+			jp.GPUShareOfNode()*100, jp.CPUMemShareOfNode()*100, jp.NodeTotal.Summary.Mean)
+	}
+
+	fmt.Println("\n=== Cap response (targets: 300W ~0%, 200W ~9% hungry, 100W ~60% hungry / <5% GaAsBi,PdO2) ===")
+	for _, name := range []string{"Si256_hse", "Si128_acfdtr", "GaAsBi-64", "PdO2"} {
+		b, _ := workloads.ByName(name)
+		cr, err := core.MeasureCapResponse(b, b.OptimalNodes, []float64{400, 300, 200, 100}, 1, 42)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			continue
+		}
+		fmt.Printf("%-14s @%d nodes: ", name, b.OptimalNodes)
+		for _, p := range cr.Points {
+			slow := p.Runtime/cr.Baseline - 1
+			fmt.Printf(" %3.0fW:%+5.1f%%(mode %3.0f)", p.CapW, slow*100, p.GPUHighMode)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\n=== Parallel efficiency, Si256_hse (target: >=70% to ~8-16 nodes) ===")
+	b, _ := workloads.ByName("Si256_hse")
+	base, _ := core.MeasureBenchmark(b, 1, 1, 0, 42)
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		jp, err := core.MeasureBenchmark(b, n, 1, 0, 42)
+		if err != nil {
+			fmt.Printf("  %2d nodes: %v\n", n, err)
+			continue
+		}
+		pe := base.Runtime / jp.Runtime / float64(n)
+		mode := 0.0
+		if jp.NodeTotal.HasMode {
+			mode = jp.NodeTotal.HighMode.X
+		}
+		fmt.Printf("  %2d nodes: runtime %7.1fs  PE %5.1f%%  nodeMode %6.0f W  energy %6.2f MJ\n",
+			n, jp.Runtime, pe*100, mode, jp.EnergyJ/1e6)
+	}
+}

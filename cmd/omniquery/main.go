@@ -1,0 +1,106 @@
+// Command omniquery demonstrates the telemetry path end to end: it
+// runs an instrumented benchmark job, ingests every node's sensors
+// into an OMNI-like store through the LDMS sampling pipeline (1 s
+// nominal, ~2 s effective after drops), registers the job, and then
+// answers power queries against the store — the workflow of the
+// paper's §II-B infrastructure and its querying scripts.
+//
+// Usage:
+//
+//	omniquery [-bench PdO2] [-nodes 2] [-metric node|cpu|memory|gpu0..gpu3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"vasppower"
+	"vasppower/internal/monitor"
+	"vasppower/internal/omni"
+	"vasppower/internal/report"
+	"vasppower/internal/stats"
+)
+
+func main() {
+	benchName := flag.String("bench", "PdO2", "benchmark to run and ingest")
+	nodes := flag.Int("nodes", 2, "node count")
+	metric := flag.String("metric", "node", "metric to query (node, cpu, memory, gpu0..gpu3)")
+	seed := flag.Uint64("seed", 42, "random seed")
+	flag.Parse()
+
+	bench, ok := vasppower.BenchmarkByName(*benchName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "omniquery: unknown benchmark %q\n", *benchName)
+		os.Exit(1)
+	}
+
+	// 1. Run the job (with the burn-in prelude, as production jobs do).
+	out, err := vasppower.Run(vasppower.RunSpec{
+		Bench: bench, Nodes: *nodes, Repeats: 1, Prelude: true, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "omniquery:", err)
+		os.Exit(1)
+	}
+
+	// 2. Ingest every node's sensors through the LDMS pipeline.
+	store := omni.NewStore()
+	cfg := monitor.LDMSDefault()
+	cfg.Seed = *seed
+	for _, n := range out.Nodes {
+		series, err := monitor.SampleNode(n, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "omniquery:", err)
+			os.Exit(1)
+		}
+		for m, s := range series {
+			if err := store.Insert(n.Name, m, s); err != nil {
+				fmt.Fprintln(os.Stderr, "omniquery:", err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	// 3. Register the job window (the VASP portion).
+	var hostnames []string
+	for _, n := range out.Nodes {
+		hostnames = append(hostnames, n.Name)
+	}
+	job := omni.JobRecord{
+		ID: "1", User: "materials-user", App: bench.Name,
+		Nodes: hostnames, Start: out.VASPStart, End: out.VASPEnd,
+	}
+	if err := store.RegisterJob(job); err != nil {
+		fmt.Fprintln(os.Stderr, "omniquery:", err)
+		os.Exit(1)
+	}
+
+	// 4. Query it back.
+	fmt.Printf("store: %d hosts, metrics per host: %v\n",
+		len(store.Hosts()), store.MetricsOf(store.Hosts()[0]))
+	perNode, err := store.JobPower(job.ID, *metric)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "omniquery:", err)
+		os.Exit(1)
+	}
+	var names []string
+	for h := range perNode {
+		names = append(names, h)
+	}
+	sort.Strings(names)
+	fmt.Printf("\njob %s (%s, %d nodes), metric %q over [%.0f, %.0f] s:\n\n",
+		job.ID, job.App, len(names), *metric, job.Start, job.End)
+	for _, h := range names {
+		s := perNode[h]
+		fmt.Println(report.SeriesLine(h, s, 64))
+		if hm, ok := stats.HighPowerModeOf(s.Values); ok {
+			fmt.Printf("%-14s high power mode %.0f W (FWHM %.0f), effective interval %.1f s, max gap %.1f s\n",
+				"", hm.X, hm.FWHM, s.Interval(), s.MaxGap())
+		}
+	}
+	if e, err := store.JobEnergy(job.ID); err == nil {
+		fmt.Printf("\njob node-level energy (trapezoidal from telemetry): %.2f MJ\n", e/1e6)
+	}
+}

@@ -1,0 +1,65 @@
+// Command pmsched runs the power-aware scheduling simulation of the
+// paper's §VI proposal: a batch queue of VASP jobs packed under a
+// facility power budget, with per-class GPU power caps chosen from
+// measured profiles, compared against no capping and a uniform cap.
+//
+// Usage:
+//
+//	pmsched [-nodes 8] [-budget-kw 8.8] [-jobs 24] [-arrival 90] [-seed 2024]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vasppower"
+	"vasppower/internal/report"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 8, "cluster size (GPU nodes)")
+	budgetKW := flag.Float64("budget-kw", 8.8, "facility power budget for the partition, kW (0 = unconstrained)")
+	jobsN := flag.Int("jobs", 24, "number of jobs in the mix")
+	arrival := flag.Float64("arrival", 90, "mean inter-arrival time, seconds")
+	seed := flag.Uint64("seed", 2024, "random seed")
+	flag.Parse()
+
+	jobs := vasppower.SyntheticJobMix(*jobsN, *arrival, *seed)
+	fmt.Printf("job mix: %d VASP jobs over ~%.0f s of arrivals on %d nodes, budget %.1f kW\n\n",
+		len(jobs), jobs[len(jobs)-1].Arrival, *nodes, *budgetKW)
+
+	policies := []vasppower.SchedulerPolicy{
+		vasppower.PolicyNoCap,
+		vasppower.PolicyUniform200,
+		vasppower.PolicyProfileAware,
+	}
+	t := report.NewTable("policy", "makespan", "mean wait", "max wait",
+		"peak power", "energy", "mean perf loss", "throughput")
+	for _, p := range policies {
+		res, err := vasppower.SimulateScheduler(vasppower.SchedulerConfig{
+			ClusterNodes: *nodes,
+			BudgetW:      *budgetKW * 1000,
+			IdleNodeW:    460,
+			Policy:       p,
+			Catalog:      vasppower.NewSchedulerCatalog(*seed),
+		}, jobs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmsched:", err)
+			os.Exit(1)
+		}
+		t.AddRow(
+			res.Policy,
+			report.Seconds(res.Makespan),
+			report.Seconds(res.MeanWait),
+			report.Seconds(res.MaxWait),
+			fmt.Sprintf("%.1f kW", res.PeakPowerW/1000),
+			fmt.Sprintf("%.1f MJ", res.TotalEnergyJ/1e6),
+			report.Percent(res.MeanPerfLoss),
+			fmt.Sprintf("%.1f jobs/h", res.Throughput),
+		)
+	}
+	fmt.Println(t.String())
+	fmt.Println("profile-aware capping reserves measured power instead of TDP, so more jobs")
+	fmt.Println("fit under the budget at a per-job cost the study bounds below 10% (§V-C).")
+}

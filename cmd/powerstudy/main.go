@@ -1,0 +1,141 @@
+// Command powerstudy regenerates every table and figure of the paper
+// from the simulation, printing each as terminal text and optionally
+// exporting the underlying data as CSV (the artifact bundle).
+//
+// Usage:
+//
+//	powerstudy [-quick] [-seed N] [-repeats N] [-only table1,fig3,...] [-artifact DIR]
+//
+// Experiment names: table1, fig1..fig13, exta (scheduler ablation),
+// extb (repeat protocol), extc (DVFS vs capping), extd (power
+// prediction), exte (MILC, the second application), extf (top-down
+// signature clustering), extg (metric ablation).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"vasppower/internal/artifact"
+	"vasppower/internal/experiments"
+)
+
+type result interface {
+	Render() string
+	CSV() artifact.Table
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "trimmed sweeps and single repeats (seconds instead of minutes)")
+	seed := flag.Uint64("seed", 2024, "root random seed")
+	repeats := flag.Int("repeats", 0, "repeats per measurement (0 = paper default of 5, or 1 in quick mode)")
+	only := flag.String("only", "", "comma-separated experiment list (default: all)")
+	artifactDir := flag.String("artifact", "", "directory for CSV data exports (empty = no export)")
+	flag.Parse()
+
+	cfg := experiments.Config{Seed: *seed, Repeats: *repeats, Quick: *quick}
+
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, name := range strings.Split(*only, ",") {
+			selected[strings.TrimSpace(strings.ToLower(name))] = true
+		}
+	}
+	want := func(name string) bool { return len(selected) == 0 || selected[name] }
+
+	var tables []artifact.Table
+	emit := func(name string, r result, elapsed time.Duration) {
+		fmt.Println(strings.Repeat("=", 78))
+		fmt.Println(r.Render())
+		fmt.Printf("[%s regenerated in %.1fs]\n\n", name, elapsed.Seconds())
+		if *artifactDir != "" {
+			tables = append(tables, r.CSV())
+		}
+	}
+	run := func(name string, f func() (result, error)) {
+		if !want(name) {
+			return
+		}
+		start := time.Now()
+		r, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		emit(name, r, time.Since(start))
+	}
+
+	run("table1", func() (result, error) { r, err := experiments.RunTableI(cfg); return r, err })
+	run("fig1", func() (result, error) { r, err := experiments.RunFig1(cfg); return r, err })
+	run("fig2", func() (result, error) { r, err := experiments.RunFig2(cfg); return r, err })
+	run("fig3", func() (result, error) { r, err := experiments.RunFig3(cfg); return r, err })
+
+	if want("fig4") || want("fig5") {
+		start := time.Now()
+		sc, err := experiments.RunScaling(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fig4/5: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(strings.Repeat("=", 78))
+		if want("fig4") {
+			fmt.Println(sc.Fig4Render())
+		}
+		if want("fig5") {
+			fmt.Println(sc.Fig5Render())
+		}
+		lo, hi := sc.ModeRange()
+		fmt.Printf("[fig4+fig5 regenerated in %.1fs; 1-node mode range %.0f–%.0f W (paper: 766–1814 W)]\n\n",
+			time.Since(start).Seconds(), lo, hi)
+		if *artifactDir != "" {
+			tables = append(tables, sc.CSV())
+		}
+	}
+
+	run("fig6", func() (result, error) { r, err := experiments.RunFig6(cfg); return r, err })
+	run("fig7", func() (result, error) { r, err := experiments.RunFig7(cfg); return r, err })
+	run("fig8", func() (result, error) { r, err := experiments.RunFig8(cfg); return r, err })
+	run("fig9", func() (result, error) { r, err := experiments.RunFig9(cfg); return r, err })
+
+	if want("fig10") || want("fig12") {
+		start := time.Now()
+		cs, err := experiments.RunCapStudy(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fig10/12: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(strings.Repeat("=", 78))
+		if want("fig10") {
+			fmt.Println(cs.Fig10Render())
+		}
+		if want("fig12") {
+			fmt.Println(cs.Fig12Render())
+		}
+		fmt.Printf("[fig10+fig12 regenerated in %.1fs]\n\n", time.Since(start).Seconds())
+		if *artifactDir != "" {
+			tables = append(tables, cs.CSV())
+		}
+	}
+
+	run("fig11", func() (result, error) { r, err := experiments.RunFig11(cfg); return r, err })
+	run("fig13", func() (result, error) { r, err := experiments.RunFig13(cfg); return r, err })
+	run("exta", func() (result, error) { r, err := experiments.RunExtScheduler(cfg); return r, err })
+	run("extb", func() (result, error) { r, err := experiments.RunExtRepeats(cfg); return r, err })
+	run("extc", func() (result, error) { r, err := experiments.RunExtC(cfg); return r, err })
+	run("extd", func() (result, error) { r, err := experiments.RunExtD(cfg); return r, err })
+	run("exte", func() (result, error) { r, err := experiments.RunExtE(cfg); return r, err })
+	run("extf", func() (result, error) { r, err := experiments.RunExtF(cfg); return r, err })
+	run("extg", func() (result, error) { r, err := experiments.RunExtG(cfg); return r, err })
+
+	if *artifactDir != "" && len(tables) > 0 {
+		paths, err := artifact.Write(*artifactDir, tables...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "artifact export: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("artifact bundle: %d CSV files under %s\n", len(paths), *artifactDir)
+	}
+}

@@ -1,0 +1,35 @@
+// Capsweep: reproduce the paper's headline finding on two contrasting
+// workloads — capping A100s to 50% of TDP (200 W) costs most VASP
+// workloads less than 10% performance, and light workloads tolerate
+// even the 100 W floor.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vasppower"
+)
+
+func main() {
+	caps := []float64{400, 300, 200, 100}
+	for _, name := range []string{"B.hR105_hse", "GaAsBi-64"} {
+		bench, ok := vasppower.BenchmarkByName(name)
+		if !ok {
+			log.Fatalf("benchmark %s not found", name)
+		}
+		cr, err := vasppower.MeasureCapResponse(bench, bench.OptimalNodes, caps, 3, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s @ %d node(s), baseline %.0f s:\n", name, bench.OptimalNodes, cr.Baseline)
+		for _, p := range cr.Points {
+			slow, _ := cr.SlowdownAt(p.CapW)
+			fmt.Printf("  cap %3.0f W: runtime %6.0f s (%+5.1f%%), GPU mode %3.0f W (%.2f of cap), energy %.2f MJ\n",
+				p.CapW, p.Runtime, slow*100, p.GPUHighMode, p.ModeOverCap, p.EnergyJ/1e6)
+		}
+		fmt.Println()
+	}
+	fmt.Println("hybrid-functional jobs feel a 200 W cap mildly and a 100 W cap badly;")
+	fmt.Println("small DFT jobs barely notice either — the basis for per-class capping.")
+}

@@ -1,0 +1,46 @@
+// Samplingrates: the paper's Fig. 2 methodology through the public
+// API — sample one GPU's power at 0.1 s, down-sample to coarser
+// telemetry intervals, and watch the high power mode stay put while
+// the distribution's width grows and fine timeline detail vanishes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vasppower"
+)
+
+func main() {
+	bench, _ := vasppower.BenchmarkByName("GaAsBi-64")
+	out, err := vasppower.Run(vasppower.RunSpec{
+		Bench: bench, Nodes: 1, Repeats: 1, Seed: 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Lossless 0.1 s sampling of GPU 0 over the job window.
+	base := out.Nodes[0].GPUTrace(0).Sample(0.1).Slice(out.VASPStart, out.VASPEnd)
+	fmt.Printf("%s, 1 node: %d samples at 0.1 s\n\n", bench.Name, base.Len())
+	fmt.Printf("%-10s %8s %8s %8s %11s %8s\n",
+		"interval", "min", "median", "max", "high mode", "FWHM")
+
+	for _, interval := range []float64{0.1, 0.5, 1, 2, 5, 10} {
+		s := base
+		if interval > 0.1 {
+			s = base.Downsample(interval)
+		}
+		p := vasppower.ProfileSeries(s)
+		if !p.HasMode {
+			fmt.Printf("%7.1f s  (no mode)\n", interval)
+			continue
+		}
+		fmt.Printf("%7.1f s  %6.0f W %6.0f W %6.0f W %8.0f W %6.0f W\n",
+			interval, p.Summary.Min, p.Summary.Median, p.Summary.Max,
+			p.HighMode.X, p.HighMode.FWHM)
+	}
+
+	fmt.Println("\nany interval up to 10 s recovers the high power mode; capturing the")
+	fmt.Println("timeline's structure needs 5 s or finer (the paper's conclusion).")
+}

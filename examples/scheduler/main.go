@@ -1,0 +1,44 @@
+// Scheduler: deploy the paper's §VI proposal — a batch scheduler that
+// classifies VASP jobs from their inputs and applies profile-derived
+// GPU power caps — and compare it with scheduling at face-value TDP
+// under a facility power budget.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vasppower"
+)
+
+func main() {
+	const nodes = 8
+	budget := nodes * 1100.0 // watts — well under nodes × 2350 W TDP
+
+	jobs := vasppower.SyntheticJobMix(16, 120, 7)
+	fmt.Printf("%d VASP jobs queued on a %d-node partition with a %.1f kW budget\n\n",
+		len(jobs), nodes, budget/1000)
+
+	for _, policy := range []vasppower.SchedulerPolicy{
+		vasppower.PolicyNoCap,
+		vasppower.PolicyProfileAware,
+	} {
+		res, err := vasppower.SimulateScheduler(vasppower.SchedulerConfig{
+			ClusterNodes: nodes,
+			BudgetW:      budget,
+			IdleNodeW:    460,
+			Policy:       policy,
+			Catalog:      vasppower.NewSchedulerCatalog(7),
+		}, jobs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s makespan %6.0f s | mean wait %5.0f s | peak %4.1f kW | energy %.1f MJ | mean perf loss %.1f%%\n",
+			res.Policy, res.Makespan, res.MeanWait, res.PeakPowerW/1000,
+			res.TotalEnergyJ/1e6, res.MeanPerfLoss*100)
+	}
+
+	fmt.Println("\nwithout profiles the scheduler must reserve 2350 W per node and can barely")
+	fmt.Println("overlap jobs; with profile-aware caps the same budget runs the queue far")
+	fmt.Println("sooner at a per-job cost below 10%.")
+}

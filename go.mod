@@ -1,0 +1,3 @@
+module vasppower
+
+go 1.22

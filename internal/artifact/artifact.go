@@ -1,0 +1,100 @@
+// Package artifact exports experiment results as CSV files — the
+// equivalent of the paper's artifact-description bundle ("the data
+// and scripts used to generate the figures", §VIII/Zenodo). Every
+// figure's underlying numbers can be written to disk for independent
+// replotting.
+package artifact
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Table is one exportable dataset.
+type Table struct {
+	// Name becomes the file name (sanitized, .csv appended).
+	Name   string
+	Header []string
+	Rows   [][]string
+}
+
+// Validate checks structural consistency.
+func (t Table) Validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("artifact: table with empty name")
+	}
+	if len(t.Header) == 0 {
+		return fmt.Errorf("artifact: table %q has no header", t.Name)
+	}
+	for i, row := range t.Rows {
+		if len(row) != len(t.Header) {
+			return fmt.Errorf("artifact: table %q row %d has %d cells, header has %d",
+				t.Name, i, len(row), len(t.Header))
+		}
+	}
+	return nil
+}
+
+// fileName sanitizes the table name into a CSV file name.
+func (t Table) fileName() string {
+	name := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, t.Name)
+	return name + ".csv"
+}
+
+// Write writes each table as <dir>/<name>.csv, creating dir if
+// needed. It returns the written paths.
+func Write(dir string, tables ...Table) ([]string, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("artifact: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("artifact: %w", err)
+	}
+	var paths []string
+	for _, t := range tables {
+		if err := t.Validate(); err != nil {
+			return paths, err
+		}
+		path := filepath.Join(dir, t.fileName())
+		f, err := os.Create(path)
+		if err != nil {
+			return paths, fmt.Errorf("artifact: %w", err)
+		}
+		w := csv.NewWriter(f)
+		if err := w.Write(t.Header); err != nil {
+			f.Close()
+			return paths, fmt.Errorf("artifact: %q: %w", t.Name, err)
+		}
+		if err := w.WriteAll(t.Rows); err != nil {
+			f.Close()
+			return paths, fmt.Errorf("artifact: %q: %w", t.Name, err)
+		}
+		w.Flush()
+		if err := w.Error(); err != nil {
+			f.Close()
+			return paths, fmt.Errorf("artifact: %q: %w", t.Name, err)
+		}
+		if err := f.Close(); err != nil {
+			return paths, fmt.Errorf("artifact: %q: %w", t.Name, err)
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}
+
+// F formats a float for CSV output.
+func F(v float64) string { return fmt.Sprintf("%g", v) }
+
+// I formats an int for CSV output.
+func I(v int) string { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,107 @@
+package artifact
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteAndReadBack(t *testing.T) {
+	dir := t.TempDir()
+	tab := Table{
+		Name:   "fig5_modes",
+		Header: []string{"benchmark", "nodes", "mode_w"},
+		Rows: [][]string{
+			{"Si256_hse", "1", "1855"},
+			{"GaAsBi-64", "2", "753"},
+		},
+	}
+	paths, err := Write(dir, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 || filepath.Base(paths[0]) != "fig5_modes.csv" {
+		t.Fatalf("paths = %v", paths)
+	}
+	f, err := os.Open(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	records, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 || records[0][0] != "benchmark" || records[2][2] != "753" {
+		t.Fatalf("round trip wrong: %v", records)
+	}
+}
+
+func TestWriteMultiple(t *testing.T) {
+	dir := t.TempDir()
+	a := Table{Name: "a", Header: []string{"x"}, Rows: [][]string{{"1"}}}
+	b := Table{Name: "b", Header: []string{"y"}, Rows: nil}
+	paths, err := Write(dir, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("paths = %v", paths)
+	}
+}
+
+func TestNameSanitization(t *testing.T) {
+	tab := Table{Name: "fig 5/modes (W)", Header: []string{"x"}}
+	fn := tab.fileName()
+	if strings.ContainsAny(fn, " /()") {
+		t.Fatalf("unsanitized name %q", fn)
+	}
+	if !strings.HasSuffix(fn, ".csv") {
+		t.Fatalf("missing extension: %q", fn)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Table{
+		{Name: "", Header: []string{"x"}},
+		{Name: "x", Header: nil},
+		{Name: "x", Header: []string{"a", "b"}, Rows: [][]string{{"1"}}},
+	}
+	for i, tab := range bad {
+		if err := tab.Validate(); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+	dir := t.TempDir()
+	if _, err := Write(dir, bad[0]); err == nil {
+		t.Fatal("invalid table written")
+	}
+}
+
+func TestWriteEmptyDir(t *testing.T) {
+	if _, err := Write(""); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+}
+
+func TestWriteCreatesNestedDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "a", "b")
+	tab := Table{Name: "t", Header: []string{"x"}}
+	if _, err := Write(dir, tab); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "t.csv")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.5) != "1.5" || F(1855) != "1855" {
+		t.Fatalf("F wrong: %q %q", F(1.5), F(1855))
+	}
+	if I(42) != "42" {
+		t.Fatalf("I wrong: %q", I(42))
+	}
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+
+	"vasppower/internal/workloads"
+)
+
+func TestTradeoffMetrics(t *testing.T) {
+	p := Tradeoff{EnergyJ: 100, RuntimeS: 10}
+	if p.EDP() != 1000 {
+		t.Fatalf("EDP = %v", p.EDP())
+	}
+	if p.ET2() != 10000 {
+		t.Fatalf("ET2 = %v", p.ET2())
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Tradeoff{}).Validate(); err == nil {
+		t.Fatal("degenerate point accepted")
+	}
+}
+
+func TestBestCapByEDP(t *testing.T) {
+	// A cap that saves real energy at mild slowdown should beat the
+	// uncapped point on EDP for a heavy workload.
+	b, _ := workloads.ByName("B.hR105_hse")
+	cr, err := MeasureCapResponse(b, 1, []float64{400, 300, 200}, 1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := BestCapByEDP(cr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Points[idx].CapW >= 400 {
+		t.Fatalf("EDP-optimal cap is the default (%v W); capping should win on EDP", cr.Points[idx].CapW)
+	}
+	if _, err := BestCapByEDP(CapResponse{}); err == nil {
+		t.Fatal("empty response accepted")
+	}
+}
+
+func TestTradeoffOf(t *testing.T) {
+	b, _ := workloads.ByName("B.hR105_hse")
+	jp, err := MeasureBenchmark(b, 1, 1, 0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := TradeoffOf(jp)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.RuntimeS != jp.Runtime || tr.EnergyJ != jp.EnergyJ {
+		t.Fatal("trade-off point does not match profile")
+	}
+}

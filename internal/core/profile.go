@@ -1,0 +1,203 @@
+// Package core implements the paper's central contribution as a
+// reusable pipeline: run a workload, sample its power telemetry,
+// characterize the distribution (high power mode + FWHM, the paper's
+// preferred metrics over mean/max, §III-B.3), and assess the
+// performance/power response to GPU power caps (§V).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"vasppower/internal/hw/node"
+	"vasppower/internal/stats"
+	"vasppower/internal/timeseries"
+	"vasppower/internal/workloads"
+)
+
+// DefaultSamplingInterval is the effective telemetry interval of the
+// paper's LDMS pipeline (nominal 1 s, effective 2 s after drops).
+const DefaultSamplingInterval = 2.0
+
+// Profile characterizes one power signal.
+type Profile struct {
+	Series   timeseries.Series
+	Summary  stats.Summary
+	Modes    []stats.Mode // all modes, low → high power
+	HighMode stats.Mode   // the paper's "high power mode"
+	HasMode  bool
+}
+
+// ProfileSeries builds a Profile from a sampled series.
+func ProfileSeries(s timeseries.Series) Profile {
+	p := Profile{Series: s}
+	if s.Len() == 0 {
+		return p
+	}
+	p.Summary, _ = stats.Describe(s.Values)
+	k := stats.NewKDE(s.Values, 0, 512)
+	p.Modes = k.Modes(stats.DefaultModeThreshold)
+	if len(p.Modes) > 0 {
+		p.HighMode = p.Modes[len(p.Modes)-1]
+		p.HasMode = true
+	}
+	return p
+}
+
+// JobProfile holds per-component profiles of one executed job window.
+type JobProfile struct {
+	Name             string
+	SamplingInterval float64
+	Runtime          float64
+	EnergyJ          float64
+
+	NodeTotal Profile // node-level sensor (components + peripherals)
+	CPU       Profile
+	Mem       Profile
+	GPUs      [node.GPUsPerNode]Profile
+	GPUSum    Profile // four GPUs combined
+}
+
+// GPUShareOfNode returns the fraction of mean node power drawn by the
+// four GPUs (the paper reports >70% for the heavy benchmarks).
+func (jp JobProfile) GPUShareOfNode() float64 {
+	if jp.NodeTotal.Summary.Mean == 0 {
+		return 0
+	}
+	return jp.GPUSum.Summary.Mean / jp.NodeTotal.Summary.Mean
+}
+
+// CPUMemShareOfNode returns the CPU+memory fraction of mean node
+// power (<10% for the heavy benchmarks, §III-C).
+func (jp JobProfile) CPUMemShareOfNode() float64 {
+	if jp.NodeTotal.Summary.Mean == 0 {
+		return 0
+	}
+	return (jp.CPU.Summary.Mean + jp.Mem.Summary.Mean) / jp.NodeTotal.Summary.Mean
+}
+
+// ProfileWindow profiles one node's traces over [start, end] at the
+// given sampling interval.
+func ProfileWindow(n *node.Node, start, end, interval float64) JobProfile {
+	jp := JobProfile{Name: n.Name, SamplingInterval: interval, Runtime: end - start}
+	sample := func(tr *timeseries.Trace) Profile {
+		s := tr.Sample(interval)
+		return ProfileSeries(s.Slice(start, end))
+	}
+	jp.NodeTotal = ProfileSeries(n.TotalTrace().Sample(interval).Slice(start, end))
+	jp.CPU = sample(n.CPUTrace())
+	jp.Mem = sample(n.MemTrace())
+	for i := 0; i < node.GPUsPerNode; i++ {
+		jp.GPUs[i] = sample(n.GPUTrace(i))
+	}
+	jp.GPUSum = ProfileSeries(n.GPUSumTrace().Sample(interval).Slice(start, end))
+	jp.EnergyJ = n.TotalTrace().EnergyBetween(start, end)
+	return jp
+}
+
+// ProfileRun profiles the selected VASP repeat of a measurement run
+// (node 0's view, as the benchmarks are node-balanced).
+func ProfileRun(out workloads.RunOutput, interval float64) JobProfile {
+	if len(out.Nodes) == 0 {
+		return JobProfile{}
+	}
+	jp := ProfileWindow(out.Nodes[0], out.VASPStart, out.VASPEnd, interval)
+	jp.Runtime = out.BestResult.Runtime
+	// Aggregate energy across all nodes for energy-to-solution.
+	jp.EnergyJ = 0
+	for _, n := range out.Nodes {
+		jp.EnergyJ += n.TotalTrace().EnergyBetween(out.VASPStart, out.VASPEnd)
+	}
+	return jp
+}
+
+// MeasureBenchmark runs a benchmark with the paper's protocol and
+// returns its profile.
+func MeasureBenchmark(b workloads.Benchmark, nodes, repeats int, capW float64, seed uint64) (JobProfile, error) {
+	out, err := workloads.Run(workloads.RunSpec{
+		Bench:         b,
+		Nodes:         nodes,
+		GPUPowerLimit: capW,
+		Repeats:       repeats,
+		Seed:          seed,
+	})
+	if err != nil {
+		return JobProfile{}, err
+	}
+	jp := ProfileRun(out, DefaultSamplingInterval)
+	jp.Name = b.Name
+	return jp, nil
+}
+
+// CapPoint is one power-cap measurement.
+type CapPoint struct {
+	CapW        float64
+	Runtime     float64
+	RelPerf     float64 // runtime(default) / runtime(cap), ≤ 1 under caps
+	GPUHighMode float64 // high power mode per GPU, W
+	ModeOverCap float64 // high power mode as a fraction of the cap (Fig. 10)
+	EnergyJ     float64
+}
+
+// CapResponse is a benchmark's response across caps (Figs. 10, 12).
+type CapResponse struct {
+	Bench    string
+	Nodes    int
+	Baseline float64 // runtime at the default 400 W limit
+	Points   []CapPoint
+}
+
+// MeasureCapResponse runs the benchmark under each cap (0 or 400 =
+// default first) and returns the response.
+func MeasureCapResponse(b workloads.Benchmark, nodes int, caps []float64, repeats int, seed uint64) (CapResponse, error) {
+	cr := CapResponse{Bench: b.Name, Nodes: nodes}
+	base, err := MeasureBenchmark(b, nodes, repeats, 0, seed)
+	if err != nil {
+		return cr, err
+	}
+	cr.Baseline = base.Runtime
+	for _, cap := range caps {
+		jp := base
+		if cap > 0 && cap < 400 {
+			jp, err = MeasureBenchmark(b, nodes, repeats, cap, seed)
+			if err != nil {
+				return cr, err
+			}
+		}
+		pt := CapPoint{
+			CapW:    cap,
+			Runtime: jp.Runtime,
+			RelPerf: cr.Baseline / jp.Runtime,
+			EnergyJ: jp.EnergyJ,
+		}
+		if cap <= 0 {
+			pt.CapW = 400
+		}
+		// Per-GPU high power mode: average over the four devices.
+		var sum float64
+		cnt := 0
+		for _, g := range jp.GPUs {
+			if g.HasMode {
+				sum += g.HighMode.X
+				cnt++
+			}
+		}
+		if cnt > 0 {
+			pt.GPUHighMode = sum / float64(cnt)
+			pt.ModeOverCap = pt.GPUHighMode / pt.CapW
+		}
+		cr.Points = append(cr.Points, pt)
+	}
+	return cr, nil
+}
+
+// SlowdownAt returns the fractional slowdown (runtime increase) at the
+// given cap, or an error if the cap was not measured.
+func (cr CapResponse) SlowdownAt(capW float64) (float64, error) {
+	for _, p := range cr.Points {
+		if math.Abs(p.CapW-capW) < 1e-9 {
+			return p.Runtime/cr.Baseline - 1, nil
+		}
+	}
+	return 0, fmt.Errorf("core: cap %v W not measured for %s", capW, cr.Bench)
+}

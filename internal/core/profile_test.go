@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"vasppower/internal/timeseries"
+	"vasppower/internal/workloads"
+)
+
+func TestProfileSeriesBasics(t *testing.T) {
+	var s timeseries.Series
+	for i := 1; i <= 500; i++ {
+		s.Times = append(s.Times, float64(i)*2)
+		v := 700.0
+		if i%10 < 3 {
+			v = 1500
+		}
+		s.Values = append(s.Values, v)
+	}
+	p := ProfileSeries(s)
+	if !p.HasMode {
+		t.Fatal("no mode found")
+	}
+	if math.Abs(p.HighMode.X-1500) > 30 {
+		t.Fatalf("high mode at %v, want ≈ 1500", p.HighMode.X)
+	}
+	if len(p.Modes) < 2 {
+		t.Fatal("bimodal series should yield two modes")
+	}
+	if p.Summary.N != 500 {
+		t.Fatalf("summary N = %d", p.Summary.N)
+	}
+}
+
+func TestProfileSeriesEmpty(t *testing.T) {
+	p := ProfileSeries(timeseries.Series{})
+	if p.HasMode || p.Summary.N != 0 {
+		t.Fatal("empty profile should be empty")
+	}
+}
+
+func TestMeasureBenchmarkProfile(t *testing.T) {
+	b, _ := workloads.ByName("B.hR105_hse")
+	jp, err := MeasureBenchmark(b, 1, 2, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jp.Runtime <= 0 || jp.EnergyJ <= 0 {
+		t.Fatalf("degenerate profile: %+v", jp)
+	}
+	if !jp.NodeTotal.HasMode {
+		t.Fatal("node profile has no mode")
+	}
+	// Energy ≈ mean node power × runtime (single node).
+	approx := jp.NodeTotal.Summary.Mean * jp.Runtime
+	if math.Abs(jp.EnergyJ-approx)/approx > 0.05 {
+		t.Fatalf("energy %.0f J vs mean×time %.0f J", jp.EnergyJ, approx)
+	}
+	// Shares are sane fractions.
+	if s := jp.GPUShareOfNode(); s <= 0.2 || s >= 1 {
+		t.Fatalf("GPU share %v", s)
+	}
+	if s := jp.CPUMemShareOfNode(); s <= 0 || s >= 0.5 {
+		t.Fatalf("CPU+mem share %v", s)
+	}
+}
+
+func TestMeasureBenchmarkCapReducesMode(t *testing.T) {
+	b, _ := workloads.ByName("B.hR105_hse")
+	base, err := MeasureBenchmark(b, 1, 1, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, err := MeasureBenchmark(b, 1, 1, 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !capped.GPUs[0].HasMode || !base.GPUs[0].HasMode {
+		t.Fatal("missing GPU modes")
+	}
+	if capped.GPUs[0].HighMode.X >= base.GPUs[0].HighMode.X {
+		t.Fatalf("cap did not reduce GPU mode: %v vs %v",
+			capped.GPUs[0].HighMode.X, base.GPUs[0].HighMode.X)
+	}
+	if capped.GPUs[0].HighMode.X > 200.01 {
+		t.Fatalf("GPU mode %v exceeds 200 W cap", capped.GPUs[0].HighMode.X)
+	}
+}
+
+func TestMeasureCapResponse(t *testing.T) {
+	b, _ := workloads.ByName("B.hR105_hse")
+	cr, err := MeasureCapResponse(b, 1, []float64{400, 300, 200}, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cr.Points) != 3 {
+		t.Fatalf("points = %d", len(cr.Points))
+	}
+	if cr.Points[0].RelPerf != 1 {
+		t.Fatalf("uncapped RelPerf = %v", cr.Points[0].RelPerf)
+	}
+	// Deeper caps never speed things up.
+	for i := 1; i < len(cr.Points); i++ {
+		if cr.Points[i].RelPerf > cr.Points[i-1].RelPerf+1e-9 {
+			t.Fatal("RelPerf increased under a deeper cap")
+		}
+	}
+	slow, err := cr.SlowdownAt(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow < 0 {
+		t.Fatalf("negative slowdown %v", slow)
+	}
+	if _, err := cr.SlowdownAt(123); err == nil {
+		t.Fatal("unmeasured cap accepted")
+	}
+}
+
+func TestProfileRunUsesVASPWindow(t *testing.T) {
+	b, _ := workloads.ByName("B.hR105_hse")
+	out, err := workloads.Run(workloads.RunSpec{
+		Bench: b, Nodes: 1, Repeats: 1, Prelude: true, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jp := ProfileRun(out, DefaultSamplingInterval)
+	// The profile covers the VASP window only: its runtime must match
+	// the solver result, not the whole trace (which includes DGEMM).
+	if math.Abs(jp.Runtime-out.BestResult.Runtime) > 1e-6 {
+		t.Fatalf("profile runtime %v vs solver %v", jp.Runtime, out.BestResult.Runtime)
+	}
+	if jp.NodeTotal.Series.Len() == 0 {
+		t.Fatal("empty profile series")
+	}
+	// First profiled sample must start after the prelude.
+	if jp.NodeTotal.Series.Times[0] < out.VASPStart {
+		t.Fatal("profile includes prelude samples")
+	}
+}
+
+func TestProfileRunEmpty(t *testing.T) {
+	jp := ProfileRun(workloads.RunOutput{}, 2)
+	if jp.Runtime != 0 {
+		t.Fatal("empty run output should yield empty profile")
+	}
+}

@@ -1,0 +1,91 @@
+// Package parallel models VASP's parallel decomposition (§IV-C):
+// the primary level distributes bands (NBANDS) across MPI ranks — one
+// rank per GPU — optionally split first into KPAR k-point groups; the
+// secondary level distributes plane waves across the cores of each
+// GPU. Increasing node count therefore shrinks bands-per-GPU while
+// leaving per-band plane-wave work unchanged, which is why power stays
+// flat with concurrency until communication time erodes computational
+// intensity (Figs. 4, 5, 8).
+package parallel
+
+import (
+	"fmt"
+
+	"vasppower/internal/interconnect"
+)
+
+// Decomposition is the resolved parallel layout of one job.
+type Decomposition struct {
+	Nodes        int
+	RanksPerNode int
+	Ranks        int // total MPI ranks (= GPUs)
+
+	KPar            int // number of k-point groups
+	RanksPerGroup   int
+	KPointsPerGroup int // k-points each group processes sequentially
+	BandsPerRank    int // bands owned by each rank within its group
+
+	// Topology spans the whole job (density all-reduce); GroupTopology
+	// spans one KPAR group (subspace all-reduces).
+	Topology      interconnect.Topology
+	GroupTopology interconnect.Topology
+}
+
+// Decompose resolves the layout for nbands bands and nkpts (reduced)
+// k-points over the given nodes. ranksPerNode is 4 on Perlmutter (one
+// rank per GPU).
+func Decompose(nbands, nkpts, nodes, ranksPerNode, kpar int) (Decomposition, error) {
+	switch {
+	case nbands <= 0:
+		return Decomposition{}, fmt.Errorf("parallel: nbands %d", nbands)
+	case nkpts <= 0:
+		return Decomposition{}, fmt.Errorf("parallel: nkpts %d", nkpts)
+	case nodes <= 0 || ranksPerNode <= 0:
+		return Decomposition{}, fmt.Errorf("parallel: invalid layout %d nodes × %d ranks", nodes, ranksPerNode)
+	case kpar <= 0:
+		return Decomposition{}, fmt.Errorf("parallel: KPAR %d", kpar)
+	}
+	ranks := nodes * ranksPerNode
+	if kpar > ranks {
+		return Decomposition{}, fmt.Errorf("parallel: KPAR %d exceeds %d ranks", kpar, ranks)
+	}
+	if ranks%kpar != 0 {
+		return Decomposition{}, fmt.Errorf("parallel: KPAR %d does not divide %d ranks", kpar, ranks)
+	}
+	if kpar > nkpts {
+		return Decomposition{}, fmt.Errorf("parallel: KPAR %d exceeds %d k-points", kpar, nkpts)
+	}
+	rpg := ranks / kpar
+	if nbands < rpg {
+		return Decomposition{}, fmt.Errorf("parallel: %d bands cannot occupy %d ranks per group", nbands, rpg)
+	}
+	d := Decomposition{
+		Nodes:           nodes,
+		RanksPerNode:    ranksPerNode,
+		Ranks:           ranks,
+		KPar:            kpar,
+		RanksPerGroup:   rpg,
+		KPointsPerGroup: ceilDiv(nkpts, kpar),
+		BandsPerRank:    ceilDiv(nbands, rpg),
+		Topology:        interconnect.Topology{Nodes: nodes, RanksPerNode: ranksPerNode},
+	}
+	// A KPAR group occupies rpg consecutive ranks: within a node when
+	// rpg ≤ ranksPerNode, across ceil(rpg/ranksPerNode) nodes otherwise.
+	if rpg <= ranksPerNode {
+		d.GroupTopology = interconnect.Topology{Nodes: 1, RanksPerNode: rpg}
+	} else {
+		d.GroupTopology = interconnect.Topology{
+			Nodes:        ceilDiv(rpg, ranksPerNode),
+			RanksPerNode: ranksPerNode,
+		}
+	}
+	return d, nil
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// String renders the layout compactly.
+func (d Decomposition) String() string {
+	return fmt.Sprintf("%d nodes × %d ranks, KPAR=%d (%d ranks/group, %d kpts/group, %d bands/rank)",
+		d.Nodes, d.RanksPerNode, d.KPar, d.RanksPerGroup, d.KPointsPerGroup, d.BandsPerRank)
+}

@@ -1,0 +1,112 @@
+package parallel
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDecomposeSingleNodeGamma(t *testing.T) {
+	d, err := Decompose(640, 1, 1, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Ranks != 4 || d.RanksPerGroup != 4 || d.BandsPerRank != 160 {
+		t.Fatalf("decomposition wrong: %+v", d)
+	}
+	if d.KPointsPerGroup != 1 {
+		t.Fatalf("kpts per group = %d", d.KPointsPerGroup)
+	}
+	if d.GroupTopology.Nodes != 1 || d.GroupTopology.RanksPerNode != 4 {
+		t.Fatalf("group topology wrong: %+v", d.GroupTopology)
+	}
+}
+
+func TestDecomposeKPar(t *testing.T) {
+	// GaAsBi-64 layout: 192 bands, 16 reduced k-points, KPAR=2, 1 node.
+	d, err := Decompose(192, 16, 1, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.RanksPerGroup != 2 || d.BandsPerRank != 96 || d.KPointsPerGroup != 8 {
+		t.Fatalf("GaAsBi layout wrong: %+v", d)
+	}
+	if d.GroupTopology.Nodes != 1 || d.GroupTopology.RanksPerNode != 2 {
+		t.Fatalf("group topology wrong: %+v", d.GroupTopology)
+	}
+}
+
+func TestDecomposeMultiNodeGroups(t *testing.T) {
+	// 4 nodes, KPAR=2: each group spans 2 nodes.
+	d, err := Decompose(640, 4, 4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.RanksPerGroup != 8 || d.GroupTopology.Nodes != 2 {
+		t.Fatalf("multi-node group wrong: %+v", d)
+	}
+	if d.Topology.Nodes != 4 {
+		t.Fatalf("full topology wrong: %+v", d.Topology)
+	}
+}
+
+func TestBandsPerRankShrinksWithNodes(t *testing.T) {
+	prev := 1 << 30
+	for _, nodes := range []int{1, 2, 4, 8, 16} {
+		d, err := Decompose(640, 1, nodes, 4, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.BandsPerRank >= prev {
+			t.Fatalf("bands per rank did not shrink at %d nodes", nodes)
+		}
+		prev = d.BandsPerRank
+	}
+}
+
+func TestDecomposeErrors(t *testing.T) {
+	cases := []struct {
+		name                              string
+		nb, nk, nodes, ranksPerNode, kpar int
+	}{
+		{"no bands", 0, 1, 1, 4, 1},
+		{"no kpts", 64, 0, 1, 4, 1},
+		{"no nodes", 64, 1, 0, 4, 1},
+		{"no kpar", 64, 1, 1, 4, 0},
+		{"kpar > ranks", 64, 64, 1, 4, 8},
+		{"kpar not dividing", 64, 4, 1, 4, 3},
+		{"kpar > kpts", 64, 1, 1, 4, 2},
+		{"bands < ranks per group", 2, 1, 1, 4, 1},
+	}
+	for _, c := range cases {
+		if _, err := Decompose(c.nb, c.nk, c.nodes, c.ranksPerNode, c.kpar); err == nil {
+			t.Fatalf("case %q accepted", c.name)
+		}
+	}
+}
+
+func TestCeilingBehavior(t *testing.T) {
+	// 100 bands over 8 ranks: 13 each (ceiling).
+	d, err := Decompose(100, 1, 2, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.BandsPerRank != 13 {
+		t.Fatalf("bands per rank = %d, want 13", d.BandsPerRank)
+	}
+	// 5 k-points over 2 groups: 3 each.
+	d, err = Decompose(100, 5, 2, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.KPointsPerGroup != 3 {
+		t.Fatalf("kpts per group = %d, want 3", d.KPointsPerGroup)
+	}
+}
+
+func TestString(t *testing.T) {
+	d, _ := Decompose(640, 1, 2, 4, 1)
+	s := d.String()
+	if !strings.Contains(s, "2 nodes") || !strings.Contains(s, "KPAR=1") {
+		t.Fatalf("String output unhelpful: %s", s)
+	}
+}

@@ -1,0 +1,109 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation, plus two extension studies. Every runner
+// returns a typed result with a Render method that reproduces the
+// figure's content as terminal text; EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"vasppower/internal/core"
+	"vasppower/internal/workloads"
+)
+
+// Config controls experiment execution.
+type Config struct {
+	// Seed drives all stochastic elements (node variability, jitter).
+	Seed uint64
+	// Repeats per measurement; the paper uses 5. Zero means 5, or 1
+	// in Quick mode.
+	Repeats int
+	// Quick trims sweeps and repeats so the full suite runs in
+	// seconds (used by tests; the defaults reproduce the paper).
+	Quick bool
+}
+
+// DefaultConfig returns the paper-faithful configuration.
+func DefaultConfig() Config { return Config{Seed: 2024, Repeats: 5} }
+
+func (c Config) repeats() int {
+	if c.Repeats > 0 {
+		return c.Repeats
+	}
+	if c.Quick {
+		return 1
+	}
+	return 5
+}
+
+func (c Config) seed() uint64 {
+	if c.Seed == 0 {
+		return 2024
+	}
+	return c.Seed
+}
+
+// measurement cache: the scaling, capping, and profiling figures share
+// many runs; each (benchmark, nodes, cap, repeats, seed) is measured
+// once per process.
+var (
+	cacheMu sync.Mutex
+	cache   = map[string]core.JobProfile{}
+)
+
+// measure runs (or recalls) one benchmark measurement. The key
+// includes the size parameters so same-named variants (e.g. a
+// synthetic Si128_acfdtr next to the Table I one) never collide.
+func measure(b workloads.Benchmark, nodes, repeats int, capW float64, seed uint64) (core.JobProfile, error) {
+	key := fmt.Sprintf("%s|%d|%d|%d|%d|%.0f|%d|%.0f|%d|%d",
+		b.Name, b.NPLWV(), b.NBands, b.NBandsExact, b.NELM, b.ENCUT,
+		nodes, capW, repeats, seed)
+	cacheMu.Lock()
+	if jp, ok := cache[key]; ok {
+		cacheMu.Unlock()
+		return jp, nil
+	}
+	cacheMu.Unlock()
+	jp, err := core.MeasureBenchmark(b, nodes, repeats, capW, seed)
+	if err != nil {
+		return core.JobProfile{}, err
+	}
+	cacheMu.Lock()
+	cache[key] = jp
+	cacheMu.Unlock()
+	return jp, nil
+}
+
+// ResetCache clears the measurement cache (tests use it to force
+// fresh runs).
+func ResetCache() {
+	cacheMu.Lock()
+	cache = map[string]core.JobProfile{}
+	cacheMu.Unlock()
+}
+
+// highMode extracts the node-level high power mode (0 when absent).
+func highMode(jp core.JobProfile) float64 {
+	if jp.NodeTotal.HasMode {
+		return jp.NodeTotal.HighMode.X
+	}
+	return 0
+}
+
+// gpuMode extracts the mean per-GPU high power mode.
+func gpuMode(jp core.JobProfile) float64 {
+	var sum float64
+	n := 0
+	for _, g := range jp.GPUs {
+		if g.HasMode {
+			sum += g.HighMode.X
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

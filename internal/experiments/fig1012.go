@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"vasppower/internal/report"
+	"vasppower/internal/workloads"
+)
+
+// CapPoint is one (benchmark, cap) measurement.
+type CapPoint struct {
+	CapW        float64
+	Runtime     float64
+	RelPerf     float64 // baseline runtime / capped runtime
+	GPUMode     float64 // mean per-GPU high power mode
+	ModeOverCap float64
+}
+
+// CapStudyResult backs Figures 10 and 12: every Table I benchmark run
+// at its optimal node count under 400/300/200/100 W GPU caps.
+type CapStudyResult struct {
+	// Series maps benchmark → points in decreasing-cap order.
+	Series map[string][]CapPoint
+	Nodes  map[string]int
+	Caps   []float64
+}
+
+// StudyCaps lists the applied power caps (W).
+func StudyCaps() []float64 { return []float64{400, 300, 200, 100} }
+
+// RunCapStudy measures the cap sweep.
+func RunCapStudy(cfg Config) (CapStudyResult, error) {
+	res := CapStudyResult{
+		Series: map[string][]CapPoint{},
+		Nodes:  map[string]int{},
+		Caps:   StudyCaps(),
+	}
+	benches := workloads.TableI()
+	if cfg.Quick {
+		benches = benches[:0]
+		for _, name := range []string{"B.hR105_hse", "GaAsBi-64"} {
+			b, _ := workloads.ByName(name)
+			benches = append(benches, b)
+		}
+	}
+	for _, b := range benches {
+		nodes := b.OptimalNodes
+		if cfg.Quick {
+			nodes = 1
+		}
+		res.Nodes[b.Name] = nodes
+		base, err := measure(b, nodes, cfg.repeats(), 0, cfg.seed())
+		if err != nil {
+			return res, err
+		}
+		for _, cap := range res.Caps {
+			jp := base
+			if cap < 400 {
+				jp, err = measure(b, nodes, cfg.repeats(), cap, cfg.seed())
+				if err != nil {
+					return res, err
+				}
+			}
+			pt := CapPoint{
+				CapW:    cap,
+				Runtime: jp.Runtime,
+				GPUMode: gpuMode(jp),
+			}
+			if jp.Runtime > 0 {
+				pt.RelPerf = base.Runtime / jp.Runtime
+			}
+			if cap > 0 {
+				pt.ModeOverCap = pt.GPUMode / cap
+			}
+			res.Series[b.Name] = append(res.Series[b.Name], pt)
+		}
+	}
+	return res, nil
+}
+
+// SlowdownAt returns the fractional slowdown of a benchmark at a cap.
+func (r CapStudyResult) SlowdownAt(bench string, capW float64) (float64, error) {
+	pts, ok := r.Series[bench]
+	if !ok {
+		return 0, fmt.Errorf("experiments: no cap series for %s", bench)
+	}
+	for _, p := range pts {
+		if p.CapW == capW {
+			if p.RelPerf <= 0 {
+				return 0, fmt.Errorf("experiments: degenerate point")
+			}
+			return 1/p.RelPerf - 1, nil
+		}
+	}
+	return 0, fmt.Errorf("experiments: cap %v not measured", capW)
+}
+
+// Fig10Render renders the cap-efficacy view (Figure 10): high power
+// mode per GPU as a fraction of the applied cap.
+func (r CapStudyResult) Fig10Render() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 10 — power per GPU under caps, as fraction of the applied cap\n")
+	sb.WriteString("(1.00 = exactly at the cap; >1 = overshoot — expected only at 100 W)\n\n")
+	header := []string{"benchmark (nodes)"}
+	for _, c := range r.Caps {
+		header = append(header, fmt.Sprintf("%.0f W", c))
+	}
+	t := report.NewTable(header...)
+	for _, name := range workloads.Names() {
+		pts, ok := r.Series[name]
+		if !ok {
+			continue
+		}
+		row := []string{fmt.Sprintf("%s (%d)", name, r.Nodes[name])}
+		for _, c := range r.Caps {
+			cell := "-"
+			for _, p := range pts {
+				if p.CapW == c {
+					cell = fmt.Sprintf("%.2f (%.0f W)", p.ModeOverCap, p.GPUMode)
+				}
+			}
+			row = append(row, cell)
+		}
+		t.AddRow(row...)
+	}
+	sb.WriteString(t.String())
+	return sb.String()
+}
+
+// Fig12Render renders the performance-response view (Figure 12):
+// performance normalized to the default 400 W limit.
+func (r CapStudyResult) Fig12Render() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 12 — VASP performance under GPU power caps (1.00 = uncapped)\n\n")
+	header := []string{"benchmark (nodes)"}
+	for _, c := range r.Caps {
+		header = append(header, fmt.Sprintf("%.0f W", c))
+	}
+	t := report.NewTable(header...)
+	for _, name := range workloads.Names() {
+		pts, ok := r.Series[name]
+		if !ok {
+			continue
+		}
+		row := []string{fmt.Sprintf("%s (%d)", name, r.Nodes[name])}
+		for _, c := range r.Caps {
+			cell := "-"
+			for _, p := range pts {
+				if p.CapW == c {
+					cell = fmt.Sprintf("%.2f", p.RelPerf)
+				}
+			}
+			row = append(row, cell)
+		}
+		t.AddRow(row...)
+	}
+	sb.WriteString(t.String())
+	sb.WriteString("\n(the paper's headline: 200 W = 50% TDP costs <10% for every workload)\n")
+	return sb.String()
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"vasppower/internal/core"
+	"vasppower/internal/report"
+	"vasppower/internal/workloads"
+)
+
+// Fig11Result reproduces Figure 11: the Si128_acfdtr timeline with
+// and without a 200 W GPU cap. Reproduced findings: the power peaks
+// are clipped by roughly half, the troughs (CPU-only exact
+// diagonalization) are untouched, and the high-power segments stretch
+// out in time.
+type Fig11Result struct {
+	Bench          string
+	CapW           float64
+	Uncapped       core.JobProfile
+	Capped         core.JobProfile
+	PeakReduction  float64 // 1 − cappedMax/uncappedMax (node level)
+	TroughChange   float64 // |cappedMin − uncappedMin| (node level)
+	RuntimeStretch float64 // cappedRuntime/uncappedRuntime − 1
+}
+
+// RunFig11 measures both runs.
+func RunFig11(cfg Config) (Fig11Result, error) {
+	bench, _ := workloads.ByName("Si128_acfdtr")
+	res := Fig11Result{Bench: bench.Name, CapW: 200}
+	var err error
+	if res.Uncapped, err = measure(bench, 1, cfg.repeats(), 0, cfg.seed()); err != nil {
+		return res, err
+	}
+	if res.Capped, err = measure(bench, 1, cfg.repeats(), res.CapW, cfg.seed()); err != nil {
+		return res, err
+	}
+	un, cp := res.Uncapped.NodeTotal.Summary, res.Capped.NodeTotal.Summary
+	if un.Max > 0 {
+		res.PeakReduction = 1 - cp.Max/un.Max
+	}
+	res.TroughChange = cp.Min - un.Min
+	if res.Uncapped.Runtime > 0 {
+		res.RuntimeStretch = res.Capped.Runtime/res.Uncapped.Runtime - 1
+	}
+	return res, nil
+}
+
+// Render draws both timelines.
+func (r Fig11Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 11 — effect of a %.0f W GPU cap on %s (1 node)\n\n", r.CapW, r.Bench)
+	sb.WriteString("uncapped:\n")
+	sb.WriteString(report.SeriesLine("node", r.Uncapped.NodeTotal.Series, 70) + "\n")
+	sb.WriteString(report.SeriesLine("gpu0", r.Uncapped.GPUs[0].Series, 70) + "\n")
+	fmt.Fprintf(&sb, "capped at %.0f W:\n", r.CapW)
+	sb.WriteString(report.SeriesLine("node", r.Capped.NodeTotal.Series, 70) + "\n")
+	sb.WriteString(report.SeriesLine("gpu0", r.Capped.GPUs[0].Series, 70) + "\n")
+	fmt.Fprintf(&sb, "\npeak node power reduced %.0f%%; trough moved %+.0f W; runtime %+.0f%%\n",
+		r.PeakReduction*100, r.TroughChange, r.RuntimeStretch*100)
+	return sb.String()
+}

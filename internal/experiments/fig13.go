@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"vasppower/internal/report"
+	"vasppower/internal/workloads"
+)
+
+// Fig13Result reproduces Figure 13: Si256_hse performance under GPU
+// caps at several node counts, normalized per node count. Reproduced
+// finding: the response is essentially concurrency-independent —
+// unaffected at 300 W, ~9% at 200 W, drastic at 100 W — so a
+// scheduler can cap without knowing the job's node count.
+type Fig13Result struct {
+	Bench string
+	Caps  []float64
+	// RelPerf[nodes][i] is performance at Caps[i] normalized to that
+	// node count's uncapped run.
+	RelPerf map[int][]float64
+	Counts  []int
+}
+
+// RunFig13 measures the cap × concurrency grid.
+func RunFig13(cfg Config) (Fig13Result, error) {
+	bench, _ := workloads.ByName("Si256_hse")
+	counts := []int{1, 2, 4, 8}
+	if cfg.Quick {
+		bench, _ = workloads.ByName("B.hR105_hse")
+		counts = []int{1, 2}
+	}
+	res := Fig13Result{
+		Bench:   bench.Name,
+		Caps:    StudyCaps(),
+		RelPerf: map[int][]float64{},
+		Counts:  counts,
+	}
+	for _, n := range counts {
+		base, err := measure(bench, n, cfg.repeats(), 0, cfg.seed())
+		if err != nil {
+			return res, err
+		}
+		var rels []float64
+		for _, cap := range res.Caps {
+			jp := base
+			if cap < 400 {
+				jp, err = measure(bench, n, cfg.repeats(), cap, cfg.seed())
+				if err != nil {
+					return res, err
+				}
+			}
+			rels = append(rels, base.Runtime/jp.Runtime)
+		}
+		res.RelPerf[n] = rels
+	}
+	return res, nil
+}
+
+// MaxSpreadAt returns the max−min relative performance across node
+// counts at the given cap (small = concurrency-independent response).
+func (r Fig13Result) MaxSpreadAt(capW float64) float64 {
+	idx := -1
+	for i, c := range r.Caps {
+		if c == capW {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return 0
+	}
+	lo, hi := 1e18, -1e18
+	for _, n := range r.Counts {
+		rels, ok := r.RelPerf[n]
+		if !ok || idx >= len(rels) {
+			continue
+		}
+		v := rels[idx]
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi < lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// Render draws the grid.
+func (r Fig13Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 13 — %s performance under caps at varied node counts (1.00 = uncapped at that count)\n\n", r.Bench)
+	header := []string{"nodes"}
+	for _, c := range r.Caps {
+		header = append(header, fmt.Sprintf("%.0f W", c))
+	}
+	t := report.NewTable(header...)
+	for _, n := range r.Counts {
+		row := []string{fmt.Sprintf("%d", n)}
+		for i := range r.Caps {
+			if rels, ok := r.RelPerf[n]; ok && i < len(rels) {
+				row = append(row, fmt.Sprintf("%.2f", rels[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	sb.WriteString(t.String())
+	return sb.String()
+}

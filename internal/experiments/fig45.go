@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"vasppower/internal/report"
+	"vasppower/internal/workloads"
+)
+
+// ScalingPoint is one (benchmark, node count) measurement.
+type ScalingPoint struct {
+	Nodes    int
+	Runtime  float64
+	Speedup  float64 // vs the 1-node run
+	ParEff   float64 // speedup / nodes
+	NodeMode float64 // high power mode per node
+	EnergyJ  float64
+}
+
+// ScalingResult holds the node-count sweep shared by Figures 4 and 5.
+type ScalingResult struct {
+	// Series maps benchmark name → points in increasing node order.
+	Series map[string][]ScalingPoint
+	Counts []int
+}
+
+// scalingCounts returns the studied node counts.
+func scalingCounts(cfg Config) []int {
+	if cfg.Quick {
+		return []int{1, 2, 4}
+	}
+	return []int{1, 2, 4, 8, 16}
+}
+
+// RunScaling measures every Table I benchmark across node counts; the
+// result backs both Fig. 4 (parallel efficiency) and Fig. 5 (high
+// power mode per node vs concurrency).
+func RunScaling(cfg Config) (ScalingResult, error) {
+	res := ScalingResult{Series: map[string][]ScalingPoint{}, Counts: scalingCounts(cfg)}
+	benches := workloads.TableI()
+	if cfg.Quick {
+		benches = benches[:0]
+		for _, name := range []string{"B.hR105_hse", "GaAsBi-64", "PdO2"} {
+			b, _ := workloads.ByName(name)
+			benches = append(benches, b)
+		}
+	}
+	for _, b := range benches {
+		var base float64
+		for _, n := range res.Counts {
+			jp, err := measure(b, n, cfg.repeats(), 0, cfg.seed())
+			if err != nil {
+				// Some benchmarks cannot scale to every node count
+				// (too few bands); stop the series there, as a user
+				// would.
+				break
+			}
+			if n == res.Counts[0] {
+				base = jp.Runtime * float64(res.Counts[0])
+			}
+			pt := ScalingPoint{
+				Nodes:    n,
+				Runtime:  jp.Runtime,
+				NodeMode: highMode(jp),
+				EnergyJ:  jp.EnergyJ,
+			}
+			if jp.Runtime > 0 {
+				pt.Speedup = base / jp.Runtime
+				pt.ParEff = pt.Speedup / float64(n)
+			}
+			res.Series[b.Name] = append(res.Series[b.Name], pt)
+		}
+	}
+	return res, nil
+}
+
+// Fig4Render renders the parallel-efficiency view (Figure 4).
+func (r ScalingResult) Fig4Render() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 4 — parallel efficiency of VASP\n\n")
+	header := []string{"benchmark"}
+	for _, n := range r.Counts {
+		header = append(header, fmt.Sprintf("%d node(s)", n))
+	}
+	t := report.NewTable(header...)
+	for _, name := range workloads.Names() {
+		pts, ok := r.Series[name]
+		if !ok {
+			continue
+		}
+		row := []string{name}
+		for _, n := range r.Counts {
+			cell := "-"
+			for _, p := range pts {
+				if p.Nodes == n {
+					cell = fmt.Sprintf("%.0f%%", p.ParEff*100)
+				}
+			}
+			row = append(row, cell)
+		}
+		t.AddRow(row...)
+	}
+	sb.WriteString(t.String())
+	sb.WriteString("\n(70% and up is recommended for efficient use of compute resources)\n")
+	return sb.String()
+}
+
+// Fig5Render renders the power-vs-concurrency view (Figure 5).
+func (r ScalingResult) Fig5Render() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 5 — high power mode per node vs concurrency\n\n")
+	header := []string{"benchmark"}
+	for _, n := range r.Counts {
+		header = append(header, fmt.Sprintf("%d node(s)", n))
+	}
+	t := report.NewTable(header...)
+	for _, name := range workloads.Names() {
+		pts, ok := r.Series[name]
+		if !ok {
+			continue
+		}
+		row := []string{name}
+		for _, n := range r.Counts {
+			cell := "-"
+			for _, p := range pts {
+				if p.Nodes == n {
+					cell = fmt.Sprintf("%.0f W", p.NodeMode)
+				}
+			}
+			row = append(row, cell)
+		}
+		t.AddRow(row...)
+	}
+	sb.WriteString(t.String())
+	sb.WriteString("\n(workload-to-workload variation dwarfs concurrency variation while PE ≥ 70%)\n")
+	return sb.String()
+}
+
+// ModeRange returns the lowest and highest node high power mode seen
+// across all benchmarks at their 1-node runs (the paper's 766–1814 W
+// span).
+func (r ScalingResult) ModeRange() (lo, hi float64) {
+	lo, hi = 1e18, -1e18
+	for _, pts := range r.Series {
+		if len(pts) == 0 {
+			continue
+		}
+		m := pts[0].NodeMode
+		if m < lo {
+			lo = m
+		}
+		if m > hi {
+			hi = m
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"vasppower/internal/dft/method"
+	"vasppower/internal/report"
+	"vasppower/internal/workloads"
+)
+
+// Fig6Point is one supercell size's measurement.
+type Fig6Point struct {
+	Atoms      int
+	NPLWV      int
+	NBands     int
+	NodeMode   float64
+	NodeFWHM   float64
+	GPUSumMode float64 // high power mode of the four GPUs combined
+	GPUSumFWHM float64
+	Runtime    float64
+}
+
+// Fig6Result reproduces Figure 6: power vs system size for silicon
+// supercells under the plain-DFT default scheme on one node. The
+// reproduced shape: power rises with atom count and plateaus when the
+// combined GPU draw approaches 4×TDP (≈2048 atoms in the paper).
+type Fig6Result struct {
+	Points    []Fig6Point
+	NodeTDP   float64
+	GPUTDPSum float64
+}
+
+// fig6Sizes returns the swept supercell sizes.
+func fig6Sizes(cfg Config) []int {
+	if cfg.Quick {
+		return []int{64, 256, 1024}
+	}
+	return []int{16, 32, 64, 128, 256, 512, 1024, 2048, 3456}
+}
+
+// RunFig6 sweeps the supercell family.
+func RunFig6(cfg Config) (Fig6Result, error) {
+	res := Fig6Result{NodeTDP: 2350, GPUTDPSum: 1600}
+	for _, atoms := range fig6Sizes(cfg) {
+		b, err := workloads.SiliconBenchmark(atoms, method.DFTBD)
+		if err != nil {
+			return res, err
+		}
+		jp, err := measure(b, 1, cfg.repeats(), 0, cfg.seed())
+		if err != nil {
+			return res, err
+		}
+		pt := Fig6Point{
+			Atoms:   atoms,
+			NPLWV:   b.NPLWV(),
+			NBands:  b.NBands,
+			Runtime: jp.Runtime,
+		}
+		if jp.NodeTotal.HasMode {
+			pt.NodeMode = jp.NodeTotal.HighMode.X
+			pt.NodeFWHM = jp.NodeTotal.HighMode.FWHM
+		}
+		if jp.GPUSum.HasMode {
+			pt.GPUSumMode = jp.GPUSum.HighMode.X
+			pt.GPUSumFWHM = jp.GPUSum.HighMode.FWHM
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// SaturationAtoms returns the smallest size whose combined-GPU mode
+// reaches frac of 4×TDP (0 when never reached).
+func (r Fig6Result) SaturationAtoms(frac float64) int {
+	for _, p := range r.Points {
+		if p.GPUSumMode >= frac*r.GPUTDPSum {
+			return p.Atoms
+		}
+	}
+	return 0
+}
+
+// Render draws the size sweep.
+func (r Fig6Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 6 — power vs system size (silicon supercells, DFT, 1 node)\n\n")
+	t := report.NewTable("atoms", "NPLWV", "NBANDS", "node mode ± FWHM", "4-GPU mode ± FWHM", "runtime")
+	for _, p := range r.Points {
+		t.AddRow(
+			fmt.Sprintf("%d", p.Atoms),
+			fmt.Sprintf("%d", p.NPLWV),
+			fmt.Sprintf("%d", p.NBands),
+			fmt.Sprintf("%.0f ± %.0f W", p.NodeMode, p.NodeFWHM),
+			fmt.Sprintf("%.0f ± %.0f W", p.GPUSumMode, p.GPUSumFWHM),
+			report.Seconds(p.Runtime),
+		)
+	}
+	sb.WriteString(t.String())
+	fmt.Fprintf(&sb, "\nnode TDP %.0f W; combined GPU TDP %.0f W\n", r.NodeTDP, r.GPUTDPSum)
+	var modes []float64
+	for _, p := range r.Points {
+		modes = append(modes, p.GPUSumMode)
+	}
+	sb.WriteString("4-GPU mode vs size: " + report.Sparkline(modes, len(modes)) + "\n")
+	return sb.String()
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"vasppower/internal/report"
+	"vasppower/internal/workloads"
+)
+
+// Fig7Point is one parameter setting's measurement.
+type Fig7Point struct {
+	NPLWV    int
+	NBands   int
+	NodeMode float64
+	NodeMean float64
+	EnergyMJ float64
+	Runtime  float64
+}
+
+// Fig7Result reproduces Figure 7: Si256_hse on one node with (left)
+// the number of plane waves varied at fixed bands, and (right) the
+// number of bands varied at fixed plane waves. Reproduced findings:
+// the high power mode rises with NPLWV (more simultaneous work per
+// GPU) but stays flat with NBANDS (bands are processed sequentially —
+// longer runtime and higher energy, same power).
+type Fig7Result struct {
+	Bench       string
+	NPLWVSweep  []Fig7Point
+	NBandsSweep []Fig7Point
+	RefNPLWV    int
+	RefNBands   int
+}
+
+// RunFig7 runs both sweeps.
+func RunFig7(cfg Config) (Fig7Result, error) {
+	base, _ := workloads.ByName("Si256_hse")
+	res := Fig7Result{Bench: base.Name, RefNPLWV: base.NPLWV(), RefNBands: base.NBands}
+
+	grids := [][3]int{{40, 40, 40}, {48, 48, 48}, {56, 56, 56}, {64, 64, 64}, {72, 72, 72}, base.FFTGrid, {90, 90, 90}}
+	bandCounts := []int{base.NBands * 4 / 5, base.NBands, base.NBands * 6 / 5, base.NBands * 8 / 5}
+	if cfg.Quick {
+		// Same benchmark (the paper's choice), trimmed sweep: the
+		// band-flatness finding only holds where exchange dominates.
+		grids = [][3]int{{56, 56, 56}, base.FFTGrid, {90, 90, 90}}
+		bandCounts = []int{base.NBands, base.NBands * 8 / 5}
+	}
+
+	for _, g := range grids {
+		b := base
+		b.FFTGrid = g
+		b.Name = fmt.Sprintf("%s_nplwv%d", base.Name, b.NPLWV())
+		jp, err := measure(b, 1, cfg.repeats(), 0, cfg.seed())
+		if err != nil {
+			return res, err
+		}
+		res.NPLWVSweep = append(res.NPLWVSweep, Fig7Point{
+			NPLWV: b.NPLWV(), NBands: b.NBands,
+			NodeMode: highMode(jp), NodeMean: jp.NodeTotal.Summary.Mean,
+			EnergyMJ: jp.EnergyJ / 1e6, Runtime: jp.Runtime,
+		})
+	}
+	for _, nb := range bandCounts {
+		b := base
+		b.NBands = nb
+		b.Name = fmt.Sprintf("%s_nb%d", base.Name, nb)
+		jp, err := measure(b, 1, cfg.repeats(), 0, cfg.seed())
+		if err != nil {
+			return res, err
+		}
+		res.NBandsSweep = append(res.NBandsSweep, Fig7Point{
+			NPLWV: b.NPLWV(), NBands: nb,
+			NodeMode: highMode(jp), NodeMean: jp.NodeTotal.Summary.Mean,
+			EnergyMJ: jp.EnergyJ / 1e6, Runtime: jp.Runtime,
+		})
+	}
+	return res, nil
+}
+
+// Render draws both panels.
+func (r Fig7Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 7 — power vs internal parameters (%s, 1 node)\n", r.Bench)
+	sb.WriteString("\nLeft panel: varying NPLWV (plane waves) at fixed NBANDS\n")
+	t := report.NewTable("NPLWV", "node mode", "node mean", "energy", "runtime")
+	for _, p := range r.NPLWVSweep {
+		t.AddRow(
+			fmt.Sprintf("%d", p.NPLWV),
+			fmt.Sprintf("%.0f W", p.NodeMode),
+			fmt.Sprintf("%.0f W", p.NodeMean),
+			fmt.Sprintf("%.2f MJ", p.EnergyMJ),
+			report.Seconds(p.Runtime),
+		)
+	}
+	sb.WriteString(t.String())
+	sb.WriteString("\nRight panel: varying NBANDS at fixed NPLWV\n")
+	t2 := report.NewTable("NBANDS", "node mode", "node mean", "energy", "runtime")
+	for _, p := range r.NBandsSweep {
+		t2.AddRow(
+			fmt.Sprintf("%d", p.NBands),
+			fmt.Sprintf("%.0f W", p.NodeMode),
+			fmt.Sprintf("%.0f W", p.NodeMean),
+			fmt.Sprintf("%.2f MJ", p.EnergyMJ),
+			report.Seconds(p.Runtime),
+		)
+	}
+	sb.WriteString(t2.String())
+	return sb.String()
+}

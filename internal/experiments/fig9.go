@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"vasppower/internal/dft/method"
+	"vasppower/internal/report"
+	"vasppower/internal/stats"
+	"vasppower/internal/workloads"
+)
+
+// Fig9Entry is one (method, supercell) violin.
+type Fig9Entry struct {
+	Method   string
+	Atoms    int
+	Violin   *stats.Violin
+	HighMode float64
+}
+
+// Fig9Result reproduces Figure 9: violin plots of node power for the
+// seven methods applied to Si128 and Si256 supercells on one node.
+// Reproduced findings: HSE and ACFDTR run >600 W/node above the DFT
+// methods, every method draws more power on the larger cell, and the
+// distributions are multi-modal.
+type Fig9Result struct {
+	Entries []Fig9Entry
+	Sizes   []int
+}
+
+// RunFig9 measures all method × size combinations.
+func RunFig9(cfg Config) (Fig9Result, error) {
+	res := Fig9Result{Sizes: []int{128, 256}}
+	kinds := method.Kinds()
+	if cfg.Quick {
+		res.Sizes = []int{128}
+		kinds = []method.Kind{method.DFTRMM, method.HSE, method.ACFDTR}
+	}
+	for _, atoms := range res.Sizes {
+		for _, k := range kinds {
+			b, err := workloads.SiliconBenchmark(atoms, k)
+			if err != nil {
+				return res, err
+			}
+			jp, err := measure(b, 1, cfg.repeats(), 0, cfg.seed())
+			if err != nil {
+				return res, err
+			}
+			v := stats.NewViolin(fmt.Sprintf("%s/Si%d", k, atoms), jp.NodeTotal.Series.Values)
+			e := Fig9Entry{Method: k.String(), Atoms: atoms, Violin: v}
+			if hm, ok := v.HighPowerMode(); ok {
+				e.HighMode = hm.X
+			}
+			res.Entries = append(res.Entries, e)
+		}
+	}
+	return res, nil
+}
+
+// MethodGap returns the mean high-mode difference between the
+// higher-order methods (hse, acfdtr) and the plain-DFT methods for
+// the given size (the paper reports >600 W/node).
+func (r Fig9Result) MethodGap(atoms int) float64 {
+	var hi, lo float64
+	var nHi, nLo int
+	for _, e := range r.Entries {
+		if e.Atoms != atoms || e.HighMode == 0 {
+			continue
+		}
+		if e.Method == "hse" || e.Method == "acfdtr" {
+			hi += e.HighMode
+			nHi++
+		} else {
+			lo += e.HighMode
+			nLo++
+		}
+	}
+	if nHi == 0 || nLo == 0 {
+		return 0
+	}
+	return hi/float64(nHi) - lo/float64(nLo)
+}
+
+// Render draws the violins.
+func (r Fig9Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 9 — power distributions by method (violin data, 1 node)\n\n")
+	for _, atoms := range r.Sizes {
+		fmt.Fprintf(&sb, "Si%d supercell:\n", atoms)
+		for _, e := range r.Entries {
+			if e.Atoms == atoms {
+				sb.WriteString(report.ViolinText(e.Violin, 48))
+			}
+		}
+		if gap := r.MethodGap(atoms); gap > 0 {
+			fmt.Fprintf(&sb, "higher-order vs DFT high-mode gap: %.0f W/node\n\n", gap)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vasppower/internal/report"
+	"vasppower/internal/workloads"
+)
+
+// TableIRow is one column of the paper's Table I (the paper lays
+// benchmarks out as columns; we render them as rows).
+type TableIRow struct {
+	Name        string
+	Electrons   int
+	Ions        int
+	Functional  string
+	Algo        string
+	NELM        int
+	NBands      int
+	NBandsExact int
+	FFTGrid     [3]int
+	NPLWV       int
+	KPoints     [3]int
+	KPar        int
+}
+
+// TableIResult reproduces Table I from the benchmark definitions.
+type TableIResult struct {
+	Rows []TableIRow
+}
+
+// RunTableI builds the table.
+func RunTableI(cfg Config) (TableIResult, error) {
+	var res TableIResult
+	for _, b := range workloads.TableI() {
+		if err := b.Validate(); err != nil {
+			return res, err
+		}
+		res.Rows = append(res.Rows, TableIRow{
+			Name:        b.Name,
+			Electrons:   b.Structure.Electrons,
+			Ions:        b.Structure.NumIons,
+			Functional:  b.Functional,
+			Algo:        b.AlgoName,
+			NELM:        b.NELM,
+			NBands:      b.NBands,
+			NBandsExact: b.NBandsExact,
+			FFTGrid:     b.FFTGrid,
+			NPLWV:       b.NPLWV(),
+			KPoints:     b.KPoints.Mesh,
+			KPar:        b.KPar,
+		})
+	}
+	return res, nil
+}
+
+// Render reproduces Table I as text.
+func (r TableIResult) Render() string {
+	t := report.NewTable("benchmark", "electrons(ions)", "functional", "algo",
+		"NELM", "NBANDS", "FFT grid", "NPLWV", "KPOINTS(KPAR)")
+	for _, row := range r.Rows {
+		nb := fmt.Sprintf("%d", row.NBands)
+		if row.NBandsExact > 0 {
+			nb += fmt.Sprintf(" (exact %d)", row.NBandsExact)
+		}
+		t.AddRow(
+			row.Name,
+			fmt.Sprintf("%d (%d)", row.Electrons, row.Ions),
+			row.Functional,
+			row.Algo,
+			fmt.Sprintf("%d", row.NELM),
+			nb,
+			fmt.Sprintf("%dx%dx%d", row.FFTGrid[0], row.FFTGrid[1], row.FFTGrid[2]),
+			fmt.Sprintf("%d", row.NPLWV),
+			fmt.Sprintf("%d %d %d (%d)", row.KPoints[0], row.KPoints[1], row.KPoints[2], row.KPar),
+		)
+	}
+	return "Table I — benchmark suite\n" + t.String()
+}

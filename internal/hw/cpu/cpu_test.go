@@ -1,0 +1,91 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+
+	"vasppower/internal/rng"
+)
+
+func TestIdleAndPeakPower(t *testing.T) {
+	c := New(EPYC7763(), nil)
+	if got := c.IdlePower(); got != 85 {
+		t.Fatalf("idle = %v, want 85", got)
+	}
+	if got := c.PowerAt(1); math.Abs(got-280) > 1e-9 {
+		t.Fatalf("full-load power = %v, want 280 (TDP)", got)
+	}
+}
+
+func TestPowerMonotoneInUtilization(t *testing.T) {
+	c := New(EPYC7763(), nil)
+	prev := -1.0
+	for u := 0.0; u <= 1.0; u += 0.01 {
+		p := c.PowerAt(u)
+		if p < prev {
+			t.Fatalf("power not monotone at u=%v", u)
+		}
+		prev = p
+	}
+}
+
+func TestPowerAtPanicsOutOfRange(t *testing.T) {
+	c := New(EPYC7763(), nil)
+	for _, u := range []float64{-0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("PowerAt(%v) did not panic", u)
+				}
+			}()
+			c.PowerAt(u)
+		}()
+	}
+}
+
+func TestHostOrchestrationPowerLow(t *testing.T) {
+	// While GPUs compute, the host should sit well below half TDP —
+	// the paper reports CPU+memory below 10% of node power (§III-C).
+	c := New(EPYC7763(), nil)
+	p := c.HostOrchestrationPower()
+	if p < c.IdlePower() || p > 170 {
+		t.Fatalf("host orchestration power = %v, want in [85, 170]", p)
+	}
+}
+
+func TestRunEigensolve(t *testing.T) {
+	c := New(EPYC7763(), nil)
+	small := c.Run(EigensolveTask(2000))
+	big := c.Run(EigensolveTask(4000))
+	if big.Duration < 7.5*small.Duration || big.Duration > 8.5*small.Duration {
+		t.Fatalf("eigensolve should scale ~n³: %v vs %v", small.Duration, big.Duration)
+	}
+	if big.Power < 200 || big.Power > 280 {
+		t.Fatalf("eigensolve power = %v, want near-TDP", big.Power)
+	}
+}
+
+func TestRunPanicsOnInvalidTask(t *testing.T) {
+	c := New(EPYC7763(), nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid task did not panic")
+		}
+	}()
+	c.Run(Task{Flops: 1, Efficiency: 0, Utilization: 0.5})
+}
+
+func TestVariabilityDeterministicAndBounded(t *testing.T) {
+	a := New(EPYC7763(), rng.New(3).Split("cpu"))
+	b := New(EPYC7763(), rng.New(3).Split("cpu"))
+	if a.IdlePower() != b.IdlePower() {
+		t.Fatal("variability not deterministic")
+	}
+	root := rng.New(7)
+	for i := 0; i < 100; i++ {
+		c := New(EPYC7763(), root.Split(string(rune('a'+i%26))+"x"))
+		if c.IdlePower() < 85*0.88-1e-9 || c.IdlePower() > 85*1.12+1e-9 {
+			t.Fatalf("idle variability out of clamp: %v", c.IdlePower())
+		}
+	}
+}

@@ -1,0 +1,230 @@
+// Package node models one Perlmutter GPU node: one EPYC 7763, four
+// A100-40GB GPUs, 256 GB DDR4, and peripherals (Slingshot NICs, fans,
+// VRM losses). The node records synchronized per-component power
+// traces as the workload executes, mirroring the Cray Power Monitoring
+// counters the paper reads (CPU, each GPU, memory, and total node
+// power including peripherals, §II-B).
+//
+// Published reference points reproduced by the model:
+//   - node TDP 2350 W = 280 (CPU) + 4×400 (GPUs) + 470 (peripherals,
+//     primarily DDR and NICs);
+//   - idle node power 410–510 W across nodes (manufacturing
+//     variability, §III-B.2);
+//   - the node sensor reads higher than the sum of component sensors
+//     (peripherals are not individually metered, Fig. 3).
+package node
+
+import (
+	"fmt"
+
+	"vasppower/internal/hw/cpu"
+	"vasppower/internal/hw/gpu"
+	"vasppower/internal/rng"
+	"vasppower/internal/timeseries"
+)
+
+// GPUsPerNode is fixed at 4 for Perlmutter GPU nodes.
+const GPUsPerNode = 4
+
+// Spec holds node-level parameters beyond the component specs.
+type Spec struct {
+	TDP             float64 // 2350 W
+	MemIdleWatts    float64 // DDR4 background (refresh, PHY)
+	MemActiveWatts  float64 // DDR4 under full streaming load
+	PeripheralWatts float64 // NICs + fans + VRM, roughly constant
+}
+
+// PerlmutterGPUNode returns the 40 GB GPU-node spec.
+func PerlmutterGPUNode() Spec {
+	return Spec{
+		TDP:             2350,
+		MemIdleWatts:    22,
+		MemActiveWatts:  52,
+		PeripheralWatts: 150,
+	}
+}
+
+// Node is one node instance. It owns its components and the aligned
+// power traces produced during simulation.
+type Node struct {
+	Name string
+	Spec Spec
+	CPU  *cpu.CPU
+	GPUs [GPUsPerNode]*gpu.GPU
+
+	peripheralWatts float64 // with per-node variability
+	memScale        float64
+
+	cpuTrace  timeseries.Trace
+	memTrace  timeseries.Trace
+	gpuTraces [GPUsPerNode]timeseries.Trace
+}
+
+// New builds a node. r seeds per-node manufacturing variability; nil
+// gives a nominal node. Component variability is derived from labeled
+// substreams so node identity fully determines device behavior.
+func New(name string, spec Spec, r *rng.Stream) *Node {
+	n := &Node{Name: name, Spec: spec, peripheralWatts: spec.PeripheralWatts, memScale: 1}
+	var cpuR, memR *rng.Stream
+	var gpuR [GPUsPerNode]*rng.Stream
+	if r != nil {
+		cpuR = r.Split("cpu")
+		memR = r.Split("mem")
+		for i := range gpuR {
+			gpuR[i] = r.Split(fmt.Sprintf("gpu%d", i))
+		}
+		// Peripheral draw varies the most between nodes (fan curves,
+		// VRM efficiency): ±25% spread drives the paper's 410–510 W
+		// idle range together with component spreads.
+		pr := r.Split("peripherals")
+		n.peripheralWatts = clamp(pr.Normal(spec.PeripheralWatts, 18),
+			spec.PeripheralWatts*0.75, spec.PeripheralWatts*1.25)
+		n.memScale = clamp(memR.Normal(1, 0.05), 0.85, 1.15)
+	}
+	n.CPU = cpu.New(cpu.EPYC7763(), cpuR)
+	for i := 0; i < GPUsPerNode; i++ {
+		n.GPUs[i] = gpu.New(gpu.A100SXM40GB(), i, gpuR[i])
+	}
+	return n
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// MemIdlePower returns the DDR background power with variability.
+func (n *Node) MemIdlePower() float64 { return n.Spec.MemIdleWatts * n.memScale }
+
+// MemActivePower returns the DDR power under load with variability.
+func (n *Node) MemActivePower() float64 { return n.Spec.MemActiveWatts * n.memScale }
+
+// PeripheralPower returns this node's (constant) peripheral draw.
+func (n *Node) PeripheralPower() float64 { return n.peripheralWatts }
+
+// IdlePower returns the node's total idle draw.
+func (n *Node) IdlePower() float64 {
+	p := n.CPU.IdlePower() + n.MemIdlePower() + n.peripheralWatts
+	for _, g := range n.GPUs {
+		p += g.IdlePower()
+	}
+	return p
+}
+
+// ComponentPowers is a snapshot of per-component power for one
+// recorded segment.
+type ComponentPowers struct {
+	CPU  float64
+	Mem  float64
+	GPUs [GPUsPerNode]float64
+}
+
+// Idle returns the node's idle component powers.
+func (n *Node) Idle() ComponentPowers {
+	cp := ComponentPowers{CPU: n.CPU.IdlePower(), Mem: n.MemIdlePower()}
+	for i, g := range n.GPUs {
+		cp.GPUs[i] = g.IdlePower()
+	}
+	return cp
+}
+
+// Record appends one synchronized segment of the given duration to all
+// component traces. The workload drivers call this as virtual time
+// advances; all traces stay aligned by construction.
+func (n *Node) Record(dur float64, p ComponentPowers) {
+	if dur < 0 {
+		panic("node: negative record duration")
+	}
+	if dur == 0 {
+		return
+	}
+	n.cpuTrace.Append(dur, p.CPU)
+	n.memTrace.Append(dur, p.Mem)
+	for i := range n.gpuTraces {
+		n.gpuTraces[i].Append(dur, p.GPUs[i])
+	}
+}
+
+// RecordIdle appends an idle segment of the given duration.
+func (n *Node) RecordIdle(dur float64) { n.Record(dur, n.Idle()) }
+
+// CPUTrace returns the CPU power trace.
+func (n *Node) CPUTrace() *timeseries.Trace { return &n.cpuTrace }
+
+// MemTrace returns the memory power trace.
+func (n *Node) MemTrace() *timeseries.Trace { return &n.memTrace }
+
+// GPUTrace returns GPU i's power trace.
+func (n *Node) GPUTrace(i int) *timeseries.Trace { return &n.gpuTraces[i] }
+
+// GPUSumTrace returns the pointwise sum of the four GPU traces.
+func (n *Node) GPUSumTrace() *timeseries.Trace {
+	return timeseries.Sum(&n.gpuTraces[0], &n.gpuTraces[1], &n.gpuTraces[2], &n.gpuTraces[3])
+}
+
+// TotalTrace returns the node power trace: all components plus the
+// constant peripheral draw. This is what the node-level sensor reads.
+func (n *Node) TotalTrace() *timeseries.Trace {
+	components := timeseries.Sum(&n.cpuTrace, &n.memTrace,
+		&n.gpuTraces[0], &n.gpuTraces[1], &n.gpuTraces[2], &n.gpuTraces[3])
+	out := &timeseries.Trace{}
+	for _, s := range components.Segments() {
+		out.Append(s.Dur, s.Power+n.peripheralWatts)
+	}
+	return out
+}
+
+// TraceDuration returns the recorded duration (identical across
+// components by construction).
+func (n *Node) TraceDuration() float64 { return n.cpuTrace.Duration() }
+
+// ResetTraces clears all recorded traces (e.g. between benchmark
+// repeats) without touching device state such as power limits.
+func (n *Node) ResetTraces() {
+	n.cpuTrace = timeseries.Trace{}
+	n.memTrace = timeseries.Trace{}
+	for i := range n.gpuTraces {
+		n.gpuTraces[i] = timeseries.Trace{}
+	}
+}
+
+// SetGPUPowerLimits applies the same cap to all four GPUs, returning
+// the first error.
+func (n *Node) SetGPUPowerLimits(w float64) error {
+	for _, g := range n.GPUs {
+		if err := g.SetPowerLimit(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ResetGPUPowerLimits restores default (TDP) limits on all GPUs.
+func (n *Node) ResetGPUPowerLimits() {
+	for _, g := range n.GPUs {
+		g.ResetPowerLimit()
+	}
+}
+
+// SetGPUClockLimits locks the same maximum SM clock on all four GPUs
+// (the DVFS alternative to power capping), returning the first error.
+func (n *Node) SetGPUClockLimits(mhz float64) error {
+	for _, g := range n.GPUs {
+		if err := g.SetClockLimitMHz(mhz); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ResetGPUClockLimits unlocks SM clocks on all GPUs.
+func (n *Node) ResetGPUClockLimits() {
+	for _, g := range n.GPUs {
+		g.ResetClockLimit()
+	}
+}

@@ -1,0 +1,176 @@
+package node
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"vasppower/internal/rng"
+)
+
+func TestNodeTDPBudget(t *testing.T) {
+	spec := PerlmutterGPUNode()
+	if spec.TDP != 2350 {
+		t.Fatalf("node TDP = %v, want 2350", spec.TDP)
+	}
+	n := New("nid001", spec, nil)
+	// Component TDPs must fit the node budget: 280 + 4×400 + periph.
+	sum := n.CPU.Spec.TDP + n.Spec.MemActiveWatts + n.Spec.PeripheralWatts
+	for _, g := range n.GPUs {
+		sum += g.Spec.TDP
+	}
+	if sum > spec.TDP {
+		t.Fatalf("component TDPs (%v) exceed node TDP (%v)", sum, spec.TDP)
+	}
+}
+
+func TestIdlePowerInPublishedRange(t *testing.T) {
+	// The paper's random check of 16 nodes found idle power between
+	// 410 and 510 W (§III-B.2). Our fleet must land in (roughly) that
+	// band, and must actually vary node to node.
+	root := rng.New(1)
+	var lo, hi float64 = math.Inf(1), math.Inf(-1)
+	for i := 0; i < 64; i++ {
+		n := New(fmt.Sprintf("nid%03d", i), PerlmutterGPUNode(), root.Split(fmt.Sprintf("nid%03d", i)))
+		p := n.IdlePower()
+		if p < 390 || p > 530 {
+			t.Fatalf("node %d idle power %v outside plausible range", i, p)
+		}
+		lo = math.Min(lo, p)
+		hi = math.Max(hi, p)
+	}
+	if hi-lo < 30 {
+		t.Fatalf("idle power spread %v W too small; paper saw up to 100 W", hi-lo)
+	}
+	if hi-lo > 130 {
+		t.Fatalf("idle power spread %v W implausibly large", hi-lo)
+	}
+}
+
+func TestNodeVariabilityDeterministic(t *testing.T) {
+	a := New("nid007", PerlmutterGPUNode(), rng.New(9).Split("nid007"))
+	b := New("nid007", PerlmutterGPUNode(), rng.New(9).Split("nid007"))
+	if a.IdlePower() != b.IdlePower() {
+		t.Fatal("same node identity produced different idle power")
+	}
+}
+
+func TestRecordAlignsTraces(t *testing.T) {
+	n := New("nid001", PerlmutterGPUNode(), nil)
+	p := n.Idle()
+	n.Record(5, p)
+	p.CPU = 200
+	p.GPUs = [4]float64{350, 350, 350, 350}
+	n.Record(10, p)
+	if d := n.TraceDuration(); d != 15 {
+		t.Fatalf("trace duration = %v, want 15", d)
+	}
+	for i := 0; i < GPUsPerNode; i++ {
+		if n.GPUTrace(i).Duration() != 15 {
+			t.Fatalf("gpu %d trace misaligned", i)
+		}
+	}
+	if n.MemTrace().Duration() != 15 {
+		t.Fatal("mem trace misaligned")
+	}
+}
+
+func TestTotalTraceIncludesPeripherals(t *testing.T) {
+	n := New("nid001", PerlmutterGPUNode(), nil)
+	n.RecordIdle(10)
+	total := n.TotalTrace()
+	components := n.CPUTrace().PowerAt(5) + n.MemTrace().PowerAt(5)
+	for i := 0; i < GPUsPerNode; i++ {
+		components += n.GPUTrace(i).PowerAt(5)
+	}
+	gap := total.PowerAt(5) - components
+	if math.Abs(gap-n.PeripheralPower()) > 1e-6 {
+		t.Fatalf("node-vs-components gap = %v, want peripheral %v", gap, n.PeripheralPower())
+	}
+	if math.Abs(total.PowerAt(5)-n.IdlePower()) > 1e-6 {
+		t.Fatalf("idle total trace = %v, want IdlePower %v", total.PowerAt(5), n.IdlePower())
+	}
+}
+
+func TestGPUSumTrace(t *testing.T) {
+	n := New("nid001", PerlmutterGPUNode(), nil)
+	p := n.Idle()
+	for i := range p.GPUs {
+		p.GPUs[i] = 100 * float64(i+1)
+	}
+	n.Record(4, p)
+	sum := n.GPUSumTrace()
+	if got := sum.PowerAt(2); math.Abs(got-1000) > 1e-9 {
+		t.Fatalf("GPU sum = %v, want 1000", got)
+	}
+}
+
+func TestResetTraces(t *testing.T) {
+	n := New("nid001", PerlmutterGPUNode(), nil)
+	n.RecordIdle(5)
+	_ = n.SetGPUPowerLimits(200)
+	n.ResetTraces()
+	if n.TraceDuration() != 0 {
+		t.Fatal("traces not cleared")
+	}
+	// Power limits survive a trace reset.
+	if n.GPUs[0].PowerLimit() != 200 {
+		t.Fatal("ResetTraces clobbered power limits")
+	}
+}
+
+func TestSetGPUPowerLimits(t *testing.T) {
+	n := New("nid001", PerlmutterGPUNode(), nil)
+	if err := n.SetGPUPowerLimits(300); err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range n.GPUs {
+		if g.PowerLimit() != 300 {
+			t.Fatalf("gpu %d limit = %v", i, g.PowerLimit())
+		}
+	}
+	if err := n.SetGPUPowerLimits(50); err == nil {
+		t.Fatal("invalid limit accepted")
+	}
+	n.ResetGPUPowerLimits()
+	if n.GPUs[3].PowerLimit() != 400 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestRecordNegativePanics(t *testing.T) {
+	n := New("nid001", PerlmutterGPUNode(), nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative duration did not panic")
+		}
+	}()
+	n.Record(-1, n.Idle())
+}
+
+func TestRecordZeroIgnored(t *testing.T) {
+	n := New("nid001", PerlmutterGPUNode(), nil)
+	n.Record(0, n.Idle())
+	if n.TraceDuration() != 0 {
+		t.Fatal("zero-duration record stored")
+	}
+}
+
+func TestSetGPUClockLimits(t *testing.T) {
+	n := New("nid001", PerlmutterGPUNode(), nil)
+	if err := n.SetGPUClockLimits(1200); err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range n.GPUs {
+		if g.ClockLimit() >= 1 {
+			t.Fatalf("gpu %d clock not locked", i)
+		}
+	}
+	if err := n.SetGPUClockLimits(10); err == nil {
+		t.Fatal("invalid clock accepted")
+	}
+	n.ResetGPUClockLimits()
+	if n.GPUs[0].ClockLimit() != 1 {
+		t.Fatal("reset failed")
+	}
+}

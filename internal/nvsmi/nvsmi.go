@@ -1,0 +1,161 @@
+// Package nvsmi models the management interface the paper uses to set
+// GPU power limits (nvidia-smi -pl, §V): per-host, per-device limit
+// setting with the A100's [100, 400] W validity range, queries, and
+// reset — the control surface a power-aware scheduler drives.
+package nvsmi
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"vasppower/internal/hw/node"
+)
+
+// AllGPUs selects every device on a host.
+const AllGPUs = -1
+
+// Interface is a management endpoint over a set of registered nodes.
+type Interface struct {
+	mu    sync.RWMutex
+	nodes map[string]*node.Node
+}
+
+// New returns an interface with no nodes registered.
+func New() *Interface {
+	return &Interface{nodes: make(map[string]*node.Node)}
+}
+
+// Register adds a node (by its name).
+func (s *Interface) Register(n *node.Node) error {
+	if n == nil || n.Name == "" {
+		return fmt.Errorf("nvsmi: invalid node")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.nodes[n.Name]; dup {
+		return fmt.Errorf("nvsmi: node %q already registered", n.Name)
+	}
+	s.nodes[n.Name] = n
+	return nil
+}
+
+// Hosts returns registered host names, sorted.
+func (s *Interface) Hosts() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.nodes))
+	for h := range s.nodes {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (s *Interface) host(name string) (*node.Node, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n, ok := s.nodes[name]
+	if !ok {
+		return nil, fmt.Errorf("nvsmi: unknown host %q", name)
+	}
+	return n, nil
+}
+
+// SetPowerLimit applies a power limit (watts) to one GPU of a host,
+// or to all of them with AllGPUs. Out-of-range limits are rejected
+// exactly as `nvidia-smi -pl` rejects them.
+func (s *Interface) SetPowerLimit(host string, gpuIndex int, watts float64) error {
+	n, err := s.host(host)
+	if err != nil {
+		return err
+	}
+	if gpuIndex == AllGPUs {
+		return n.SetGPUPowerLimits(watts)
+	}
+	if gpuIndex < 0 || gpuIndex >= node.GPUsPerNode {
+		return fmt.Errorf("nvsmi: gpu index %d out of range", gpuIndex)
+	}
+	return n.GPUs[gpuIndex].SetPowerLimit(watts)
+}
+
+// ResetPowerLimit restores the default (TDP) limit.
+func (s *Interface) ResetPowerLimit(host string, gpuIndex int) error {
+	n, err := s.host(host)
+	if err != nil {
+		return err
+	}
+	if gpuIndex == AllGPUs {
+		n.ResetGPUPowerLimits()
+		return nil
+	}
+	if gpuIndex < 0 || gpuIndex >= node.GPUsPerNode {
+		return fmt.Errorf("nvsmi: gpu index %d out of range", gpuIndex)
+	}
+	n.GPUs[gpuIndex].ResetPowerLimit()
+	return nil
+}
+
+// GPUInfo is one row of the query output.
+type GPUInfo struct {
+	Index       int
+	Name        string
+	PowerLimitW float64
+	MinLimitW   float64
+	MaxLimitW   float64
+	IdlePowerW  float64
+}
+
+// Query lists the GPUs of a host.
+func (s *Interface) Query(host string) ([]GPUInfo, error) {
+	n, err := s.host(host)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]GPUInfo, node.GPUsPerNode)
+	for i, g := range n.GPUs {
+		out[i] = GPUInfo{
+			Index:       i,
+			Name:        g.Spec.Name,
+			PowerLimitW: g.PowerLimit(),
+			MinLimitW:   g.Spec.MinPowerLimit,
+			MaxLimitW:   g.Spec.TDP,
+			IdlePowerW:  g.IdlePower(),
+		}
+	}
+	return out, nil
+}
+
+// SetClockLimit locks the maximum SM clock (MHz) of one GPU, or all
+// with AllGPUs — the `nvidia-smi -lgc` DVFS control the paper
+// contrasts with power capping (§V).
+func (s *Interface) SetClockLimit(host string, gpuIndex int, mhz float64) error {
+	n, err := s.host(host)
+	if err != nil {
+		return err
+	}
+	if gpuIndex == AllGPUs {
+		return n.SetGPUClockLimits(mhz)
+	}
+	if gpuIndex < 0 || gpuIndex >= node.GPUsPerNode {
+		return fmt.Errorf("nvsmi: gpu index %d out of range", gpuIndex)
+	}
+	return n.GPUs[gpuIndex].SetClockLimitMHz(mhz)
+}
+
+// ResetClockLimit unlocks SM clocks (nvidia-smi -rgc).
+func (s *Interface) ResetClockLimit(host string, gpuIndex int) error {
+	n, err := s.host(host)
+	if err != nil {
+		return err
+	}
+	if gpuIndex == AllGPUs {
+		n.ResetGPUClockLimits()
+		return nil
+	}
+	if gpuIndex < 0 || gpuIndex >= node.GPUsPerNode {
+		return fmt.Errorf("nvsmi: gpu index %d out of range", gpuIndex)
+	}
+	n.GPUs[gpuIndex].ResetClockLimit()
+	return nil
+}

@@ -1,0 +1,157 @@
+package nvsmi
+
+import (
+	"testing"
+
+	"vasppower/internal/hw/node"
+)
+
+func testIface(t *testing.T) (*Interface, *node.Node) {
+	t.Helper()
+	s := New()
+	n := node.New("nid000001", node.PerlmutterGPUNode(), nil)
+	if err := s.Register(n); err != nil {
+		t.Fatal(err)
+	}
+	return s, n
+}
+
+func TestRegisterValidation(t *testing.T) {
+	s := New()
+	if err := s.Register(nil); err == nil {
+		t.Fatal("nil node accepted")
+	}
+	n := node.New("nid1", node.PerlmutterGPUNode(), nil)
+	if err := s.Register(n); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(n); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	hosts := s.Hosts()
+	if len(hosts) != 1 || hosts[0] != "nid1" {
+		t.Fatalf("hosts = %v", hosts)
+	}
+}
+
+func TestSetPowerLimitSingleGPU(t *testing.T) {
+	s, n := testIface(t)
+	if err := s.SetPowerLimit("nid000001", 2, 250); err != nil {
+		t.Fatal(err)
+	}
+	if n.GPUs[2].PowerLimit() != 250 {
+		t.Fatal("limit not applied")
+	}
+	if n.GPUs[0].PowerLimit() != 400 {
+		t.Fatal("limit leaked to other GPUs")
+	}
+}
+
+func TestSetPowerLimitAllGPUs(t *testing.T) {
+	s, n := testIface(t)
+	if err := s.SetPowerLimit("nid000001", AllGPUs, 300); err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range n.GPUs {
+		if g.PowerLimit() != 300 {
+			t.Fatal("limit not applied to all")
+		}
+	}
+}
+
+func TestSetPowerLimitErrors(t *testing.T) {
+	s, _ := testIface(t)
+	if err := s.SetPowerLimit("missing", AllGPUs, 300); err == nil {
+		t.Fatal("unknown host accepted")
+	}
+	if err := s.SetPowerLimit("nid000001", 7, 300); err == nil {
+		t.Fatal("bad index accepted")
+	}
+	if err := s.SetPowerLimit("nid000001", 0, 99); err == nil {
+		t.Fatal("below-floor limit accepted")
+	}
+	if err := s.SetPowerLimit("nid000001", 0, 500); err == nil {
+		t.Fatal("above-TDP limit accepted")
+	}
+}
+
+func TestResetPowerLimit(t *testing.T) {
+	s, n := testIface(t)
+	_ = s.SetPowerLimit("nid000001", AllGPUs, 200)
+	if err := s.ResetPowerLimit("nid000001", 1); err != nil {
+		t.Fatal(err)
+	}
+	if n.GPUs[1].PowerLimit() != 400 || n.GPUs[0].PowerLimit() != 200 {
+		t.Fatal("single reset wrong")
+	}
+	if err := s.ResetPowerLimit("nid000001", AllGPUs); err != nil {
+		t.Fatal(err)
+	}
+	if n.GPUs[0].PowerLimit() != 400 {
+		t.Fatal("reset all failed")
+	}
+	if err := s.ResetPowerLimit("missing", AllGPUs); err == nil {
+		t.Fatal("unknown host accepted")
+	}
+	if err := s.ResetPowerLimit("nid000001", 9); err == nil {
+		t.Fatal("bad index accepted")
+	}
+}
+
+func TestQuery(t *testing.T) {
+	s, _ := testIface(t)
+	_ = s.SetPowerLimit("nid000001", 3, 150)
+	info, err := s.Query("nid000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info) != node.GPUsPerNode {
+		t.Fatalf("info rows = %d", len(info))
+	}
+	if info[3].PowerLimitW != 150 || info[0].PowerLimitW != 400 {
+		t.Fatalf("limits wrong: %+v", info)
+	}
+	if info[0].MinLimitW != 100 || info[0].MaxLimitW != 400 {
+		t.Fatalf("range wrong: %+v", info[0])
+	}
+	if info[0].Name == "" {
+		t.Fatal("missing device name")
+	}
+	if _, err := s.Query("missing"); err == nil {
+		t.Fatal("unknown host accepted")
+	}
+}
+
+func TestSetClockLimit(t *testing.T) {
+	s, n := testIface(t)
+	if err := s.SetClockLimit("nid000001", AllGPUs, 1100); err != nil {
+		t.Fatal(err)
+	}
+	if n.GPUs[2].ClockLimit() >= 1 {
+		t.Fatal("clock not locked")
+	}
+	if err := s.SetClockLimit("missing", AllGPUs, 1100); err == nil {
+		t.Fatal("unknown host accepted")
+	}
+	if err := s.SetClockLimit("nid000001", 9, 1100); err == nil {
+		t.Fatal("bad index accepted")
+	}
+	if err := s.SetClockLimit("nid000001", 0, 5000); err == nil {
+		t.Fatal("bad clock accepted")
+	}
+	if err := s.ResetClockLimit("nid000001", 0); err != nil {
+		t.Fatal(err)
+	}
+	if n.GPUs[0].ClockLimit() != 1 {
+		t.Fatal("single reset failed")
+	}
+	if err := s.ResetClockLimit("nid000001", AllGPUs); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ResetClockLimit("missing", 0); err == nil {
+		t.Fatal("unknown host accepted")
+	}
+	if err := s.ResetClockLimit("nid000001", 9); err == nil {
+		t.Fatal("bad index accepted")
+	}
+}

@@ -1,0 +1,101 @@
+// Package predict implements the paper's proposed next step (§VI-C):
+// predicting a VASP job's power from quantities visible to the
+// scheduler before the job runs — the workload type and the
+// computational sizes (plane waves, bands, electrons, concurrency)
+// readable from the INCAR. Per-class ridge-regression models in log
+// space are trained on simulated silicon-supercell profiles and
+// evaluated on the (held-out) Table I production benchmarks.
+package predict
+
+import (
+	"fmt"
+	"math"
+)
+
+// solveRidge solves (XᵀX + λI)β = Xᵀy for β by Gaussian elimination
+// with partial pivoting. X is n×p (row-major), y has length n.
+func solveRidge(X [][]float64, y []float64, lambda float64) ([]float64, error) {
+	n := len(X)
+	if n == 0 || n != len(y) {
+		return nil, fmt.Errorf("predict: %d rows but %d targets", n, len(y))
+	}
+	p := len(X[0])
+	for i, row := range X {
+		if len(row) != p {
+			return nil, fmt.Errorf("predict: ragged design matrix at row %d", i)
+		}
+	}
+	if lambda < 0 {
+		return nil, fmt.Errorf("predict: negative ridge penalty %v", lambda)
+	}
+	// Normal equations.
+	A := make([][]float64, p)
+	b := make([]float64, p)
+	for i := 0; i < p; i++ {
+		A[i] = make([]float64, p)
+		for j := 0; j < p; j++ {
+			var s float64
+			for r := 0; r < n; r++ {
+				s += X[r][i] * X[r][j]
+			}
+			A[i][j] = s
+		}
+		A[i][i] += lambda
+		var s float64
+		for r := 0; r < n; r++ {
+			s += X[r][i] * y[r]
+		}
+		b[i] = s
+	}
+	return solveLinear(A, b)
+}
+
+// solveLinear solves A·x = b in place by Gaussian elimination with
+// partial pivoting.
+func solveLinear(A [][]float64, b []float64) ([]float64, error) {
+	p := len(A)
+	for col := 0; col < p; col++ {
+		// Pivot.
+		pivot := col
+		best := math.Abs(A[col][col])
+		for r := col + 1; r < p; r++ {
+			if v := math.Abs(A[r][col]); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-12 {
+			return nil, fmt.Errorf("predict: singular system at column %d", col)
+		}
+		A[col], A[pivot] = A[pivot], A[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		// Eliminate.
+		for r := col + 1; r < p; r++ {
+			f := A[r][col] / A[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < p; c++ {
+				A[r][c] -= f * A[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	// Back substitution.
+	x := make([]float64, p)
+	for r := p - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < p; c++ {
+			s -= A[r][c] * x[c]
+		}
+		x[r] = s / A[r][r]
+	}
+	return x, nil
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

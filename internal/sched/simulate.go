@@ -1,0 +1,292 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"vasppower/internal/rng"
+	"vasppower/internal/sim"
+	"vasppower/internal/timeseries"
+	"vasppower/internal/workloads"
+)
+
+// CycleSeconds is the scheduling cycle length; the paper notes power
+// capping decisions fit "within each scheduling cycle, usually 30
+// seconds" (§VI-A).
+const CycleSeconds = 30.0
+
+// SimConfig configures one scheduler simulation.
+type SimConfig struct {
+	ClusterNodes int
+	// BudgetW is the facility power budget for the GPU partition; 0
+	// disables budget packing (nodes are the only constraint).
+	BudgetW float64
+	// IdleNodeW is the power reserved per idle node.
+	IdleNodeW float64
+	Policy    Policy
+	Catalog   *Catalog
+	// JitterSeed adds per-job runtime jitter (0 = none).
+	JitterSeed uint64
+}
+
+// JobOutcome records one job's scheduling history.
+type JobOutcome struct {
+	ID       string
+	Class    Class
+	CapW     float64
+	Start    float64
+	End      float64
+	Wait     float64
+	Runtime  float64
+	PerfLoss float64
+	EnergyJ  float64
+	PowerW   float64 // reserved node power × nodes while running
+	Nodes    int
+	// ActualMeanW is the measured mean node power × nodes — what the
+	// job really draws, as opposed to what the policy reserved.
+	ActualMeanW float64
+}
+
+// Result summarizes one policy run over a job mix.
+type Result struct {
+	Policy       string
+	Completed    int
+	Makespan     float64
+	TotalEnergyJ float64
+	MeanWait     float64
+	MaxWait      float64
+	PeakPowerW   float64 // highest reserved power at any instant
+	MeanPerfLoss float64
+	Throughput   float64 // jobs per hour over the makespan
+	Outcomes     []JobOutcome
+	BudgetW      float64
+	ClusterNodes int
+}
+
+// Simulate runs the job mix through the scheduler under the policy.
+func Simulate(cfg SimConfig, jobs []Job) (Result, error) {
+	if cfg.ClusterNodes <= 0 {
+		return Result{}, fmt.Errorf("sched: cluster size %d", cfg.ClusterNodes)
+	}
+	if cfg.Policy == nil || cfg.Catalog == nil {
+		return Result{}, fmt.Errorf("sched: missing policy or catalog")
+	}
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return Result{}, err
+		}
+		if j.Nodes > cfg.ClusterNodes {
+			return Result{}, fmt.Errorf("sched: job %s needs %d nodes, cluster has %d", j.ID, j.Nodes, cfg.ClusterNodes)
+		}
+	}
+	queue := append([]Job(nil), jobs...)
+	SortJobs(queue)
+
+	var jitter *rng.Stream
+	if cfg.JitterSeed != 0 {
+		jitter = rng.New(cfg.JitterSeed)
+	}
+
+	type running struct {
+		job     Job
+		outcome JobOutcome
+	}
+	engine := sim.New()
+	freeNodes := cfg.ClusterNodes
+	reservedW := float64(cfg.ClusterNodes) * cfg.IdleNodeW
+	res := Result{Policy: cfg.Policy.Name(), BudgetW: cfg.BudgetW, ClusterNodes: cfg.ClusterNodes}
+	res.PeakPowerW = reservedW
+	remaining := len(queue) // jobs not yet completed (or dropped)
+
+	active := map[string]*running{}
+	var outcomes []JobOutcome
+
+	// tryStart greedily starts queued jobs (FIFO with first-fit skip,
+	// like a backfilling scheduler without reservations).
+	var waiting []Job
+	tryStart := func(now float64) {
+		kept := waiting[:0]
+		for _, j := range waiting {
+			class := Classify(j.Bench.Method)
+			cap := cfg.Policy.Cap(class)
+			perNodeW := cfg.Policy.BudgetPowerPerNode(class)
+			needW := float64(j.Nodes) * (perNodeW - cfg.IdleNodeW)
+			fits := j.Nodes <= freeNodes &&
+				(cfg.BudgetW <= 0 || reservedW+needW <= cfg.BudgetW)
+			if !fits {
+				kept = append(kept, j)
+				continue
+			}
+			prof, err := cfg.Catalog.Get(j.Bench, j.Nodes, cap)
+			if err != nil {
+				// Unrunnable configuration: drop the job rather than
+				// deadlocking the queue.
+				remaining--
+				continue
+			}
+			rt := prof.Runtime
+			if jitter != nil {
+				rt *= jitter.LogNormal(0, 0.02)
+			}
+			freeNodes -= j.Nodes
+			reservedW += needW
+			if reservedW > res.PeakPowerW {
+				res.PeakPowerW = reservedW
+			}
+			r := &running{job: j, outcome: JobOutcome{
+				ID: j.ID, Class: class, CapW: cap,
+				Start: now, End: now + rt, Wait: now - j.Arrival,
+				Runtime: rt, PerfLoss: prof.PerfLoss(),
+				EnergyJ:     prof.EnergyJ,
+				PowerW:      float64(j.Nodes) * perNodeW,
+				Nodes:       j.Nodes,
+				ActualMeanW: float64(j.Nodes) * prof.MeanNodeW,
+			}}
+			active[j.ID] = r
+			jj := j
+			engine.At(now+rt, func() {
+				freeNodes += jj.Nodes
+				reservedW -= needW
+				outcomes = append(outcomes, r.outcome)
+				delete(active, jj.ID)
+				remaining--
+			})
+		}
+		waiting = kept
+	}
+
+	// Arrival events enqueue jobs; a 30-second cycle ticker runs the
+	// scheduling pass.
+	for _, j := range queue {
+		jj := j
+		engine.At(j.Arrival, func() {
+			waiting = append(waiting, jj)
+		})
+	}
+	var cycle func()
+	cycle = func() {
+		tryStart(engine.Now())
+		if remaining > 0 {
+			engine.After(CycleSeconds, cycle)
+		}
+	}
+	engine.At(0, cycle)
+	engine.Run()
+
+	if len(waiting) > 0 {
+		return Result{}, fmt.Errorf("sched: %d jobs never started", len(waiting))
+	}
+	sort.Slice(outcomes, func(i, k int) bool { return outcomes[i].ID < outcomes[k].ID })
+	res.Outcomes = outcomes
+	res.Completed = len(outcomes)
+	var waitSum, lossSum float64
+	for _, o := range outcomes {
+		res.TotalEnergyJ += o.EnergyJ
+		waitSum += o.Wait
+		res.MaxWait = math.Max(res.MaxWait, o.Wait)
+		lossSum += o.PerfLoss
+		res.Makespan = math.Max(res.Makespan, o.End)
+	}
+	if len(outcomes) > 0 {
+		res.MeanWait = waitSum / float64(len(outcomes))
+		res.MeanPerfLoss = lossSum / float64(len(outcomes))
+	}
+	if res.Makespan > 0 {
+		res.Throughput = float64(res.Completed) / (res.Makespan / 3600)
+	}
+	return res, nil
+}
+
+// SyntheticJobMix builds a reproducible mix of VASP jobs drawn from
+// the Table I suite with Poisson-ish arrivals — the workload for the
+// scheduler ablation. Heavy RPA/HSE jobs appear less often than plain
+// DFT, mirroring production mixes.
+func SyntheticJobMix(n int, meanInterArrival float64, seed uint64) []Job {
+	r := rng.New(seed)
+	suite := []struct {
+		name   string
+		weight float64
+		nodes  []int
+	}{
+		{"PdO2", 0.25, []int{1, 2}},
+		{"PdO4", 0.20, []int{1, 2}},
+		{"GaAsBi-64", 0.20, []int{1, 2}},
+		{"CuC_vdw", 0.15, []int{1}},
+		{"B.hR105_hse", 0.10, []int{1, 2}},
+		{"Si128_acfdtr", 0.10, []int{1, 2}},
+	}
+	var jobs []Job
+	t := 0.0
+	for i := 0; i < n; i++ {
+		t += r.Exponential(meanInterArrival)
+		x := r.Float64()
+		pick := suite[len(suite)-1]
+		acc := 0.0
+		for _, s := range suite {
+			acc += s.weight
+			if x <= acc {
+				pick = s
+				break
+			}
+		}
+		b, ok := workloads.ByName(pick.name)
+		if !ok {
+			continue
+		}
+		jobs = append(jobs, Job{
+			ID:      fmt.Sprintf("job%04d", i),
+			Bench:   b,
+			Nodes:   pick.nodes[r.IntN(len(pick.nodes))],
+			Arrival: t,
+		})
+	}
+	return jobs
+}
+
+// Timelines reconstructs the cluster's power over the schedule as two
+// step functions: what the policy reserved, and what the jobs
+// actually drew (measured mean node power while running; idle nodes
+// at idleNodeW in both). The gap between the two is the budget the
+// policy could not hand out — the quantitative cost of scheduling
+// without profiles (§VI-A).
+func (r Result) Timelines(idleNodeW float64) (reserved, actual *timeseries.Trace) {
+	type edge struct {
+		t        float64
+		dReserve float64
+		dActual  float64
+	}
+	var edges []edge
+	for _, o := range r.Outcomes {
+		idle := float64(o.Nodes) * idleNodeW
+		edges = append(edges,
+			edge{o.Start, o.PowerW - idle, o.ActualMeanW - idle},
+			edge{o.End, -(o.PowerW - idle), -(o.ActualMeanW - idle)})
+	}
+	sort.Slice(edges, func(i, k int) bool { return edges[i].t < edges[k].t })
+	base := float64(r.ClusterNodes) * idleNodeW
+	reserved, actual = &timeseries.Trace{}, &timeseries.Trace{}
+	curR, curA := base, base
+	prev := 0.0
+	for _, e := range edges {
+		if e.t > prev {
+			reserved.Append(e.t-prev, curR)
+			actual.Append(e.t-prev, curA)
+			prev = e.t
+		}
+		curR += e.dReserve
+		curA += e.dActual
+	}
+	return reserved, actual
+}
+
+// BudgetUtilization returns mean actual draw divided by mean reserved
+// power over the schedule — how much of what the policy set aside was
+// really used (1.0 = perfectly sized reservations).
+func (r Result) BudgetUtilization(idleNodeW float64) float64 {
+	reserved, actual := r.Timelines(idleNodeW)
+	if reserved.Energy() <= 0 {
+		return 0
+	}
+	return actual.Energy() / reserved.Energy()
+}

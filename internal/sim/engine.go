@@ -1,0 +1,188 @@
+// Package sim is a minimal discrete-event simulation engine: a virtual
+// clock and an ordered event queue. Hour-long VASP jobs, 0.1-second
+// telemetry sampling, and 30-second scheduler cycles all run in
+// virtual time, so a full paper experiment executes in milliseconds of
+// wall time.
+//
+// The engine is deliberately single-threaded: determinism matters more
+// than parallel speed for a reproduction, and events at equal
+// timestamps fire in scheduling order (FIFO), which keeps every run
+// bit-identical.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled callback. Cancel prevents a pending event from
+// firing; cancelling an already-fired event is a no-op.
+type Event struct {
+	at        float64
+	seq       uint64
+	fn        func()
+	cancelled bool
+	fired     bool
+	index     int // heap index, -1 once popped
+}
+
+// Time returns the virtual time at which the event is scheduled.
+func (ev *Event) Time() float64 { return ev.at }
+
+// Cancel prevents the event from firing. Safe to call multiple times.
+func (ev *Event) Cancel() { ev.cancelled = true }
+
+// Engine is the simulation core. The zero value is ready to use and
+// starts at time 0.
+type Engine struct {
+	now float64
+	pq  eventHeap
+	seq uint64
+}
+
+// New returns a fresh engine at virtual time 0.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Pending returns the number of events still queued (including
+// cancelled-but-unpopped events).
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// At schedules fn at absolute virtual time t. Scheduling in the past
+// panics: it indicates a simulator bug, and silently reordering time
+// would corrupt every power trace built on top of the engine.
+func (e *Engine) At(t float64, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		panic(fmt.Sprintf("sim: scheduling at non-finite time %v", t))
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.pq, ev)
+	return ev
+}
+
+// After schedules fn delay seconds from now. Negative delays panic.
+func (e *Engine) After(delay float64, fn func()) *Event {
+	return e.At(e.now+delay, fn)
+}
+
+// Step fires the next pending event, advancing the clock to its time.
+// It returns false when no events remain.
+func (e *Engine) Step() bool {
+	for len(e.pq) > 0 {
+		ev := heap.Pop(&e.pq).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		ev.fired = true
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil fires events with time ≤ t, then advances the clock to
+// exactly t (even if no event lands there).
+func (e *Engine) RunUntil(t float64) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: RunUntil(%v) before now %v", t, e.now))
+	}
+	for len(e.pq) > 0 {
+		// Peek.
+		next := e.pq[0]
+		if next.cancelled {
+			heap.Pop(&e.pq)
+			continue
+		}
+		if next.at > t {
+			break
+		}
+		e.Step()
+	}
+	e.now = t
+}
+
+// Ticker fires a callback at a fixed period until stopped. The first
+// tick fires one period after creation (matching a polling sampler
+// that reports at the end of each interval).
+type Ticker struct {
+	engine  *Engine
+	period  float64
+	fn      func(now float64)
+	ev      *Event
+	stopped bool
+}
+
+// Every creates and starts a Ticker with the given period (seconds).
+// It panics if period <= 0.
+func (e *Engine) Every(period float64, fn func(now float64)) *Ticker {
+	if period <= 0 {
+		panic("sim: non-positive ticker period")
+	}
+	t := &Ticker{engine: e, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.engine.After(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn(t.engine.Now())
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop halts the ticker. Safe to call from within the tick callback.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.ev != nil {
+		t.ev.Cancel()
+	}
+}
+
+// eventHeap orders events by (time, sequence) so ties fire FIFO.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,206 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+
+	"vasppower/internal/rng"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := New()
+	var order []float64
+	for _, at := range []float64{5, 1, 3, 2, 4} {
+		at := at
+		e.At(at, func() { order = append(order, at) })
+	}
+	e.Run()
+	if !sort.Float64sAreSorted(order) {
+		t.Fatalf("events fired out of order: %v", order)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("final time = %v, want 5", e.Now())
+	}
+}
+
+func TestTiesFireFIFO(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(1, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie order not FIFO: %v", order)
+		}
+	}
+}
+
+func TestAfterUsesCurrentTime(t *testing.T) {
+	e := New()
+	var firedAt float64
+	e.At(10, func() {
+		e.After(5, func() { firedAt = e.Now() })
+	})
+	e.Run()
+	if firedAt != 15 {
+		t.Fatalf("After fired at %v, want 15", firedAt)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	ev := e.At(1, func() { fired = true })
+	ev.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := New()
+	e.At(10, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.At(5, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	var fired []float64
+	for _, at := range []float64{1, 2, 3, 4} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(2.5)
+	if len(fired) != 2 {
+		t.Fatalf("RunUntil(2.5) fired %v", fired)
+	}
+	if e.Now() != 2.5 {
+		t.Fatalf("clock = %v, want 2.5", e.Now())
+	}
+	e.Run()
+	if len(fired) != 4 {
+		t.Fatalf("remaining events lost: %v", fired)
+	}
+}
+
+func TestRunUntilAdvancesEmptyClock(t *testing.T) {
+	e := New()
+	e.RunUntil(42)
+	if e.Now() != 42 {
+		t.Fatalf("clock = %v, want 42", e.Now())
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := New()
+	var ticks []float64
+	tk := e.Every(2, func(now float64) {
+		ticks = append(ticks, now)
+	})
+	e.At(11, func() { tk.Stop() })
+	e.Run()
+	want := []float64{2, 4, 6, 8, 10}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+}
+
+func TestTickerStopFromCallback(t *testing.T) {
+	e := New()
+	count := 0
+	var tk *Ticker
+	tk = e.Every(1, func(now float64) {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	e.Run()
+	if count != 3 {
+		t.Fatalf("ticker fired %d times after in-callback Stop, want 3", count)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	// A chain of events each scheduling the next: simulates a process.
+	e := New()
+	depth := 0
+	var step func()
+	step = func() {
+		depth++
+		if depth < 100 {
+			e.After(1, step)
+		}
+	}
+	e.After(1, step)
+	e.Run()
+	if depth != 100 {
+		t.Fatalf("chain depth = %d, want 100", depth)
+	}
+	if e.Now() != 100 {
+		t.Fatalf("final time = %v, want 100", e.Now())
+	}
+}
+
+// Property: with random schedules, events always fire in nondecreasing
+// time order and the clock never moves backwards.
+func TestRandomScheduleOrderProperty(t *testing.T) {
+	root := rng.New(77)
+	for trial := 0; trial < 30; trial++ {
+		r := rng.New(root.Uint64())
+		e := New()
+		var last float64 = -1
+		violations := 0
+		n := 1 + r.IntN(200)
+		for i := 0; i < n; i++ {
+			at := r.Float64() * 1000
+			e.At(at, func() {
+				if e.Now() < last {
+					violations++
+				}
+				last = e.Now()
+				// Sometimes schedule follow-ups.
+				if r.Bool(0.3) {
+					e.After(r.Float64()*10, func() {
+						if e.Now() < last {
+							violations++
+						}
+						last = e.Now()
+					})
+				}
+			})
+		}
+		e.Run()
+		if violations > 0 {
+			t.Fatalf("trial %d: %d time-order violations", trial, violations)
+		}
+	}
+}
+
+func TestPending(t *testing.T) {
+	e := New()
+	e.At(1, func() {})
+	e.At(2, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after run = %d", e.Pending())
+	}
+}

@@ -1,0 +1,224 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KDE is a Gaussian kernel density estimate over a uniform evaluation
+// grid. The paper determines the "high power mode" from the KDE of the
+// power timeline data (§III-B.3).
+type KDE struct {
+	Xs        []float64 // grid points (strictly increasing, uniform)
+	Density   []float64 // estimated density at each grid point
+	Bandwidth float64
+}
+
+// SilvermanBandwidth returns Silverman's rule-of-thumb bandwidth:
+// 0.9·min(σ, IQR/1.34)·n^(−1/5). Degenerate samples (zero spread) get
+// a small positive bandwidth so the KDE remains well-defined.
+func SilvermanBandwidth(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	s, _ := Describe(xs)
+	spread := s.StdDev
+	if iqr := (s.Q3 - s.Q1) / 1.34; iqr > 0 && iqr < spread {
+		spread = iqr
+	}
+	if spread <= 0 {
+		// Constant sample: pick a bandwidth proportional to the value
+		// scale so the density is a narrow bump, not a delta.
+		spread = math.Max(1e-6, math.Abs(s.Mean)*1e-3)
+	}
+	return 0.9 * spread * math.Pow(float64(len(xs)), -0.2)
+}
+
+// NewKDE estimates the density of xs on a uniform grid of gridN points
+// spanning [min−3h, max+3h], with bandwidth h. If h <= 0, Silverman's
+// rule is used. gridN < 2 panics.
+func NewKDE(xs []float64, h float64, gridN int) *KDE {
+	if gridN < 2 {
+		panic("stats: KDE grid too small")
+	}
+	if len(xs) == 0 {
+		return &KDE{Xs: []float64{0, 1}, Density: []float64{0, 0}, Bandwidth: 1}
+	}
+	if h <= 0 {
+		h = SilvermanBandwidth(xs)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	lo := sorted[0] - 3*h
+	hi := sorted[len(sorted)-1] + 3*h
+	k := &KDE{
+		Xs:        make([]float64, gridN),
+		Density:   make([]float64, gridN),
+		Bandwidth: h,
+	}
+	step := (hi - lo) / float64(gridN-1)
+	invH := 1 / h
+	norm := 1 / (float64(len(xs)) * h * math.Sqrt(2*math.Pi))
+	for i := 0; i < gridN; i++ {
+		x := lo + float64(i)*step
+		k.Xs[i] = x
+		// Only samples within 5h contribute meaningfully; exploit the
+		// sorted order to bound the scan.
+		loIdx := sort.SearchFloat64s(sorted, x-5*h)
+		var d float64
+		for j := loIdx; j < len(sorted) && sorted[j] <= x+5*h; j++ {
+			u := (x - sorted[j]) * invH
+			d += math.Exp(-0.5 * u * u)
+		}
+		k.Density[i] = d * norm
+	}
+	return k
+}
+
+// Step returns the grid spacing.
+func (k *KDE) Step() float64 {
+	if len(k.Xs) < 2 {
+		return 0
+	}
+	return k.Xs[1] - k.Xs[0]
+}
+
+// Integral returns the trapezoidal integral of the density over the
+// grid (≈ 1 for a well-resolved estimate).
+func (k *KDE) Integral() float64 {
+	var s float64
+	for i := 1; i < len(k.Xs); i++ {
+		s += (k.Xs[i] - k.Xs[i-1]) * (k.Density[i] + k.Density[i-1]) / 2
+	}
+	return s
+}
+
+// DensityAt evaluates the estimate at x by linear interpolation on the
+// grid (0 outside the grid).
+func (k *KDE) DensityAt(x float64) float64 {
+	n := len(k.Xs)
+	if n == 0 || x < k.Xs[0] || x > k.Xs[n-1] {
+		return 0
+	}
+	i := sort.SearchFloat64s(k.Xs, x)
+	if i == 0 {
+		return k.Density[0]
+	}
+	if i >= n {
+		return k.Density[n-1]
+	}
+	x0, x1 := k.Xs[i-1], k.Xs[i]
+	f := (x - x0) / (x1 - x0)
+	return k.Density[i-1]*(1-f) + k.Density[i]*f
+}
+
+// Mode is a local maximum of a KDE.
+type Mode struct {
+	X       float64 // location (watts, in our use)
+	Density float64 // density at the peak
+	// FWHM is the full width at half maximum of this mode's peak,
+	// measured within the peak's basin (walking outward from the peak
+	// until the density falls below half the peak density or a valley
+	// is crossed).
+	FWHM float64
+}
+
+// Modes returns the local maxima of the density curve, in increasing
+// order of X, ignoring peaks whose density is below minRelDensity times
+// the global maximum density (to suppress numerical ripples).
+func (k *KDE) Modes(minRelDensity float64) []Mode {
+	n := len(k.Xs)
+	if n < 3 {
+		return nil
+	}
+	var globalMax float64
+	for _, d := range k.Density {
+		if d > globalMax {
+			globalMax = d
+		}
+	}
+	if globalMax == 0 {
+		return nil
+	}
+	thresh := minRelDensity * globalMax
+	var modes []Mode
+	for i := 1; i < n-1; i++ {
+		d := k.Density[i]
+		if d < thresh {
+			continue
+		}
+		// A peak: strictly greater than the left neighbor and at least
+		// as large as the right neighbor (plateaus yield their leftmost
+		// point).
+		if d > k.Density[i-1] && d >= k.Density[i+1] {
+			modes = append(modes, Mode{
+				X:       k.Xs[i],
+				Density: d,
+				FWHM:    k.fwhmAt(i),
+			})
+		}
+	}
+	return modes
+}
+
+// fwhmAt measures the full width at half maximum of the peak at grid
+// index i, walking outward until the density drops below half of the
+// peak value. Interpolates the crossing points linearly. If the
+// density never falls below half within the grid (e.g. a shoulder), the
+// grid edge bounds the width.
+func (k *KDE) fwhmAt(i int) float64 {
+	half := k.Density[i] / 2
+	// Walk left.
+	left := k.Xs[0]
+	for j := i; j > 0; j-- {
+		if k.Density[j-1] < half {
+			// Crossing between j-1 and j.
+			d0, d1 := k.Density[j-1], k.Density[j]
+			f := (half - d0) / (d1 - d0)
+			left = k.Xs[j-1] + f*(k.Xs[j]-k.Xs[j-1])
+			break
+		}
+	}
+	// Walk right.
+	right := k.Xs[len(k.Xs)-1]
+	for j := i; j < len(k.Xs)-1; j++ {
+		if k.Density[j+1] < half {
+			d0, d1 := k.Density[j], k.Density[j+1]
+			f := (d0 - half) / (d0 - d1)
+			right = k.Xs[j] + f*(k.Xs[j+1]-k.Xs[j])
+			break
+		}
+	}
+	return right - left
+}
+
+// HighPowerMode returns the paper's headline metric: the mode at the
+// highest power (the rightmost local maximum whose density is at least
+// minRelDensity of the global peak). ok is false when no mode exists.
+//
+// The paper argues this is a better power-management metric than the
+// mean (multi-modal timelines) or the max (brief spikes).
+func (k *KDE) HighPowerMode(minRelDensity float64) (Mode, bool) {
+	modes := k.Modes(minRelDensity)
+	if len(modes) == 0 {
+		return Mode{}, false
+	}
+	return modes[len(modes)-1], true
+}
+
+// DefaultModeThreshold is the relative-density cutoff used throughout
+// the experiments when locating modes: a local maximum must reach 10%
+// of the global density peak to count as a mode. This mirrors the
+// paper's KDE-based visual identification, which ignores negligible
+// ripples.
+const DefaultModeThreshold = 0.10
+
+// HighPowerModeOf is a convenience wrapper: Silverman KDE on a
+// 512-point grid, then HighPowerMode with the default threshold.
+func HighPowerModeOf(xs []float64) (Mode, bool) {
+	if len(xs) == 0 {
+		return Mode{}, false
+	}
+	k := NewKDE(xs, 0, 512)
+	return k.HighPowerMode(DefaultModeThreshold)
+}

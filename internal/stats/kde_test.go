@@ -1,0 +1,240 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"vasppower/internal/rng"
+)
+
+func normalSample(seed uint64, n int, mean, sd float64) []float64 {
+	r := rng.New(seed)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Normal(mean, sd)
+	}
+	return xs
+}
+
+func TestKDEIntegratesToOne(t *testing.T) {
+	xs := normalSample(1, 5000, 100, 15)
+	k := NewKDE(xs, 0, 512)
+	if got := k.Integral(); math.Abs(got-1) > 0.01 {
+		t.Fatalf("KDE integral = %v, want ≈ 1", got)
+	}
+}
+
+func TestKDEModeOfNormal(t *testing.T) {
+	xs := normalSample(2, 20000, 250, 10)
+	mode, ok := HighPowerModeOf(xs)
+	if !ok {
+		t.Fatal("no mode found")
+	}
+	if math.Abs(mode.X-250) > 3 {
+		t.Fatalf("mode of N(250,10) at %v", mode.X)
+	}
+	// FWHM of a normal is 2.355σ; KDE smoothing widens it slightly.
+	if mode.FWHM < 2.0*10 || mode.FWHM > 3.2*10 {
+		t.Fatalf("FWHM = %v, want ≈ 23.5", mode.FWHM)
+	}
+}
+
+func TestKDEBimodalHighPowerMode(t *testing.T) {
+	// Two well-separated modes; the high power mode must be the upper
+	// one even though the lower mode has more mass (the point of the
+	// paper's metric).
+	r := rng.New(3)
+	var xs []float64
+	for i := 0; i < 6000; i++ {
+		xs = append(xs, r.Normal(500, 20))
+	}
+	for i := 0; i < 3000; i++ {
+		xs = append(xs, r.Normal(1500, 30))
+	}
+	k := NewKDE(xs, 0, 512)
+	modes := k.Modes(DefaultModeThreshold)
+	if len(modes) != 2 {
+		t.Fatalf("expected 2 modes, got %d: %+v", len(modes), modes)
+	}
+	hpm, ok := k.HighPowerMode(DefaultModeThreshold)
+	if !ok {
+		t.Fatal("no high power mode")
+	}
+	if math.Abs(hpm.X-1500) > 10 {
+		t.Fatalf("high power mode at %v, want ≈ 1500", hpm.X)
+	}
+	// Mean is pulled between the modes — exactly why the paper prefers
+	// the high power mode.
+	mean := Mean(xs)
+	if math.Abs(mean-hpm.X) < 200 {
+		t.Fatalf("mean %v unexpectedly close to high mode %v", mean, hpm.X)
+	}
+}
+
+func TestKDETrimodalDetection(t *testing.T) {
+	r := rng.New(4)
+	var xs []float64
+	for _, m := range []float64{300, 800, 1300} {
+		for i := 0; i < 4000; i++ {
+			xs = append(xs, r.Normal(m, 25))
+		}
+	}
+	k := NewKDE(xs, 0, 1024)
+	modes := k.Modes(DefaultModeThreshold)
+	if len(modes) != 3 {
+		t.Fatalf("expected 3 modes, got %d", len(modes))
+	}
+	for i, want := range []float64{300, 800, 1300} {
+		if math.Abs(modes[i].X-want) > 15 {
+			t.Fatalf("mode %d at %v, want ≈ %v", i, modes[i].X, want)
+		}
+	}
+}
+
+func TestKDEThresholdSuppressesMinorModes(t *testing.T) {
+	r := rng.New(5)
+	var xs []float64
+	for i := 0; i < 20000; i++ {
+		xs = append(xs, r.Normal(400, 15))
+	}
+	for i := 0; i < 150; i++ { // sub-1% mass blip
+		xs = append(xs, r.Normal(900, 5))
+	}
+	k := NewKDE(xs, 0, 512)
+	modes := k.Modes(0.10)
+	if len(modes) != 1 {
+		t.Fatalf("minor mode not suppressed at 10%% threshold: %+v", modes)
+	}
+	loose := k.Modes(0.001)
+	if len(loose) < 2 {
+		t.Fatalf("minor mode should appear at 0.1%% threshold: %+v", loose)
+	}
+}
+
+func TestKDEConstantSample(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = 123
+	}
+	mode, ok := HighPowerModeOf(xs)
+	if !ok {
+		t.Fatal("constant sample has no mode")
+	}
+	if math.Abs(mode.X-123) > 1 {
+		t.Fatalf("constant-sample mode at %v", mode.X)
+	}
+}
+
+func TestKDEEmptySample(t *testing.T) {
+	if _, ok := HighPowerModeOf(nil); ok {
+		t.Fatal("empty sample should have no mode")
+	}
+	k := NewKDE(nil, 0, 16)
+	if k.Integral() != 0 {
+		t.Fatal("empty KDE should integrate to 0")
+	}
+}
+
+func TestSilvermanBandwidthScales(t *testing.T) {
+	narrow := SilvermanBandwidth(normalSample(6, 2000, 0, 1))
+	wide := SilvermanBandwidth(normalSample(7, 2000, 0, 10))
+	if wide < 5*narrow {
+		t.Fatalf("bandwidth should scale with spread: %v vs %v", narrow, wide)
+	}
+	big := SilvermanBandwidth(normalSample(8, 20000, 0, 1))
+	if big >= narrow {
+		t.Fatalf("bandwidth should shrink with n: n=2000→%v, n=20000→%v", narrow, big)
+	}
+}
+
+func TestDensityAtInterpolation(t *testing.T) {
+	xs := normalSample(9, 5000, 0, 1)
+	k := NewKDE(xs, 0, 256)
+	// On-grid equals stored value.
+	if got := k.DensityAt(k.Xs[100]); math.Abs(got-k.Density[100]) > 1e-12 {
+		t.Fatalf("on-grid DensityAt mismatch: %v vs %v", got, k.Density[100])
+	}
+	// Off-grid lies between neighbors.
+	mid := (k.Xs[100] + k.Xs[101]) / 2
+	d := k.DensityAt(mid)
+	lo, hi := k.Density[100], k.Density[101]
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if d < lo-1e-12 || d > hi+1e-12 {
+		t.Fatalf("interpolated density %v outside [%v,%v]", d, lo, hi)
+	}
+	// Outside the grid is 0.
+	if k.DensityAt(k.Xs[0]-1) != 0 || k.DensityAt(k.Xs[len(k.Xs)-1]+1) != 0 {
+		t.Fatal("out-of-grid density should be 0")
+	}
+}
+
+// Property: the KDE density is non-negative everywhere, for random
+// samples and bandwidths.
+func TestKDENonNegativeProperty(t *testing.T) {
+	st := rng.New(100)
+	for trial := 0; trial < 50; trial++ {
+		r := rng.New(st.Uint64())
+		n := 10 + r.IntN(500)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Uniform(0, 2000)
+		}
+		h := r.Uniform(0.1, 100)
+		k := NewKDE(xs, h, 128)
+		for i, d := range k.Density {
+			if d < 0 || math.IsNaN(d) {
+				t.Fatalf("trial %d: density[%d] = %v", trial, i, d)
+			}
+		}
+	}
+}
+
+// Property: the high power mode is invariant (±small tolerance) to
+// window-average downsampling when the modes are well separated —
+// the paper's Fig. 2 finding.
+func TestHighPowerModeStableUnderDownsampling(t *testing.T) {
+	// Build a synthetic power timeline alternating between two levels.
+	r := rng.New(11)
+	var fine []float64
+	for seg := 0; seg < 60; seg++ {
+		level := 350.0
+		if seg%2 == 0 {
+			level = 150
+		}
+		for i := 0; i < 100; i++ { // 100 samples at 0.1 s = 10 s per segment
+			fine = append(fine, level+r.Normal(0, 6))
+		}
+	}
+	hpmFine, ok := HighPowerModeOf(fine)
+	if !ok {
+		t.Fatal("no fine-grained mode")
+	}
+	// Downsample by straight averaging of groups of k (0.1s → k/10 s).
+	for _, k := range []int{2, 5, 10, 20, 50} {
+		var coarse []float64
+		for i := 0; i+k <= len(fine); i += k {
+			var s float64
+			for j := 0; j < k; j++ {
+				s += fine[i+j]
+			}
+			coarse = append(coarse, s/float64(k))
+		}
+		hpm, ok := HighPowerModeOf(coarse)
+		if !ok {
+			t.Fatalf("k=%d: no mode", k)
+		}
+		if math.Abs(hpm.X-hpmFine.X) > 20 {
+			t.Fatalf("k=%d: high power mode moved %v → %v", k, hpmFine.X, hpm.X)
+		}
+	}
+}
+
+func BenchmarkKDE(b *testing.B) {
+	xs := normalSample(1, 5000, 1000, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewKDE(xs, 0, 512)
+	}
+}

@@ -1,0 +1,213 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+
+	"vasppower/internal/rng"
+)
+
+// KMeans clusters feature vectors — the core of the paper's proposed
+// "top-down" statistical approach to the long tail of workloads that
+// cannot each get a dedicated power study (§VI-B): jobs are grouped
+// by their power signatures rather than by name.
+type KMeans struct {
+	Centers     [][]float64
+	Assignments []int
+	Inertia     float64 // sum of squared distances to assigned centers
+	Iterations  int
+}
+
+// KMeansFit clusters points into k clusters using Lloyd's algorithm
+// with k-means++ seeding. Deterministic given the seed.
+func KMeansFit(points [][]float64, k int, seed uint64, maxIter int) (*KMeans, error) {
+	n := len(points)
+	if k <= 0 {
+		return nil, fmt.Errorf("stats: k-means with k=%d", k)
+	}
+	if n < k {
+		return nil, fmt.Errorf("stats: %d points for %d clusters", n, k)
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("stats: point %d has dimension %d, want %d", i, len(p), dim)
+		}
+	}
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	r := rng.New(seed)
+
+	// k-means++ seeding.
+	centers := make([][]float64, 0, k)
+	first := append([]float64(nil), points[r.IntN(n)]...)
+	centers = append(centers, first)
+	d2 := make([]float64, n)
+	for len(centers) < k {
+		var total float64
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range centers {
+				if d := sqDist(p, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		var pick int
+		if total <= 0 {
+			pick = r.IntN(n) // all points coincide with centers
+		} else {
+			x := r.Float64() * total
+			acc := 0.0
+			pick = n - 1
+			for i, d := range d2 {
+				acc += d
+				if x <= acc {
+					pick = i
+					break
+				}
+			}
+		}
+		centers = append(centers, append([]float64(nil), points[pick]...))
+	}
+
+	km := &KMeans{Centers: centers, Assignments: make([]int, n)}
+	for iter := 0; iter < maxIter; iter++ {
+		km.Iterations = iter + 1
+		changed := false
+		// Assign.
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for ci, c := range km.Centers {
+				if d := sqDist(p, c); d < bestD {
+					best, bestD = ci, d
+				}
+			}
+			if km.Assignments[i] != best {
+				km.Assignments[i] = best
+				changed = true
+			}
+		}
+		// Update.
+		counts := make([]int, k)
+		sums := make([][]float64, k)
+		for ci := range sums {
+			sums[ci] = make([]float64, dim)
+		}
+		for i, p := range points {
+			ci := km.Assignments[i]
+			counts[ci]++
+			for j, v := range p {
+				sums[ci][j] += v
+			}
+		}
+		for ci := range km.Centers {
+			if counts[ci] == 0 {
+				// Re-seed an empty cluster on the farthest point.
+				far, farD := 0, -1.0
+				for i, p := range points {
+					if d := sqDist(p, km.Centers[km.Assignments[i]]); d > farD {
+						far, farD = i, d
+					}
+				}
+				km.Centers[ci] = append([]float64(nil), points[far]...)
+				continue
+			}
+			for j := range km.Centers[ci] {
+				km.Centers[ci][j] = sums[ci][j] / float64(counts[ci])
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+	}
+	km.Inertia = 0
+	for i, p := range points {
+		km.Inertia += sqDist(p, km.Centers[km.Assignments[i]])
+	}
+	return km, nil
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Standardize rescales each feature column to zero mean and unit
+// variance in place-copy form (columns with zero spread are left
+// centered only). Returns the rescaled copy.
+func Standardize(points [][]float64) [][]float64 {
+	n := len(points)
+	if n == 0 {
+		return nil
+	}
+	dim := len(points[0])
+	mean := make([]float64, dim)
+	std := make([]float64, dim)
+	for _, p := range points {
+		for j, v := range p {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(n)
+	}
+	for _, p := range points {
+		for j, v := range p {
+			d := v - mean[j]
+			std[j] += d * d
+		}
+	}
+	out := make([][]float64, n)
+	for j := range std {
+		std[j] = math.Sqrt(std[j] / float64(n))
+	}
+	for i, p := range points {
+		out[i] = make([]float64, dim)
+		for j, v := range p {
+			if std[j] > 0 {
+				out[i][j] = (v - mean[j]) / std[j]
+			} else {
+				out[i][j] = v - mean[j]
+			}
+		}
+	}
+	return out
+}
+
+// ClusterPurity scores a clustering against ground-truth labels: the
+// fraction of points whose cluster's majority label matches their
+// own. 1.0 means the clusters reproduce the labels exactly.
+func ClusterPurity(assignments []int, labels []string) (float64, error) {
+	if len(assignments) != len(labels) {
+		return 0, fmt.Errorf("stats: %d assignments vs %d labels", len(assignments), len(labels))
+	}
+	if len(assignments) == 0 {
+		return 0, fmt.Errorf("stats: empty clustering")
+	}
+	counts := map[int]map[string]int{}
+	for i, a := range assignments {
+		if counts[a] == nil {
+			counts[a] = map[string]int{}
+		}
+		counts[a][labels[i]]++
+	}
+	correct := 0
+	for _, byLabel := range counts {
+		best := 0
+		for _, c := range byLabel {
+			if c > best {
+				best = c
+			}
+		}
+		correct += best
+	}
+	return float64(correct) / float64(len(assignments)), nil
+}

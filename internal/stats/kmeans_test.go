@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"vasppower/internal/rng"
+)
+
+func blobs(seed uint64, centers [][]float64, perBlob int, spread float64) ([][]float64, []string) {
+	r := rng.New(seed)
+	var pts [][]float64
+	var labels []string
+	names := []string{"a", "b", "c", "d", "e"}
+	for ci, c := range centers {
+		for i := 0; i < perBlob; i++ {
+			p := make([]float64, len(c))
+			for j, v := range c {
+				p[j] = v + r.Normal(0, spread)
+			}
+			pts = append(pts, p)
+			labels = append(labels, names[ci])
+		}
+	}
+	return pts, labels
+}
+
+func TestKMeansSeparatesBlobs(t *testing.T) {
+	centers := [][]float64{{0, 0}, {10, 10}, {-10, 10}}
+	pts, labels := blobs(1, centers, 50, 0.5)
+	km, err := KMeansFit(pts, 3, 7, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	purity, err := ClusterPurity(km.Assignments, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if purity < 0.99 {
+		t.Fatalf("purity %v on well-separated blobs", purity)
+	}
+	if km.Inertia > float64(len(pts))*3*0.5*0.5*3 {
+		t.Fatalf("inertia %v too large", km.Inertia)
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	pts, _ := blobs(2, [][]float64{{0, 0}, {5, 5}}, 30, 0.4)
+	a, _ := KMeansFit(pts, 2, 9, 100)
+	b, _ := KMeansFit(pts, 2, 9, 100)
+	for i := range a.Assignments {
+		if a.Assignments[i] != b.Assignments[i] {
+			t.Fatal("k-means not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	pts := [][]float64{{1}, {2}}
+	if _, err := KMeansFit(pts, 0, 1, 10); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := KMeansFit(pts, 3, 1, 10); err == nil {
+		t.Fatal("more clusters than points accepted")
+	}
+	ragged := [][]float64{{1, 2}, {3}}
+	if _, err := KMeansFit(ragged, 1, 1, 10); err == nil {
+		t.Fatal("ragged points accepted")
+	}
+}
+
+func TestKMeansIdenticalPoints(t *testing.T) {
+	pts := make([][]float64, 10)
+	for i := range pts {
+		pts[i] = []float64{3, 3}
+	}
+	km, err := KMeansFit(pts, 2, 1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if km.Inertia > 1e-12 {
+		t.Fatalf("identical points should give zero inertia, got %v", km.Inertia)
+	}
+}
+
+func TestStandardize(t *testing.T) {
+	pts := [][]float64{{1, 100}, {2, 200}, {3, 300}}
+	std := Standardize(pts)
+	// Each column: mean 0, stddev 1.
+	for j := 0; j < 2; j++ {
+		var mean, varr float64
+		for _, p := range std {
+			mean += p[j]
+		}
+		mean /= 3
+		for _, p := range std {
+			varr += (p[j] - mean) * (p[j] - mean)
+		}
+		if math.Abs(mean) > 1e-12 || math.Abs(math.Sqrt(varr/3)-1) > 1e-12 {
+			t.Fatalf("column %d not standardized", j)
+		}
+	}
+	// Constant columns centered, not divided.
+	cst := Standardize([][]float64{{5, 1}, {5, 2}})
+	if cst[0][0] != 0 || cst[1][0] != 0 {
+		t.Fatal("constant column not centered")
+	}
+	if Standardize(nil) != nil {
+		t.Fatal("empty input should return nil")
+	}
+	// Original untouched.
+	if pts[0][0] != 1 {
+		t.Fatal("Standardize mutated input")
+	}
+}
+
+func TestClusterPurity(t *testing.T) {
+	p, err := ClusterPurity([]int{0, 0, 1, 1}, []string{"x", "x", "y", "y"})
+	if err != nil || p != 1 {
+		t.Fatalf("purity = %v, %v", p, err)
+	}
+	p, _ = ClusterPurity([]int{0, 0, 0, 0}, []string{"x", "x", "y", "y"})
+	if p != 0.5 {
+		t.Fatalf("degenerate purity = %v", p)
+	}
+	if _, err := ClusterPurity([]int{0}, []string{"a", "b"}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := ClusterPurity(nil, nil); err == nil {
+		t.Fatal("empty clustering accepted")
+	}
+}
+
+// Property: k-means inertia never increases when k grows (on the same
+// data and seed family, best of a few seeds).
+func TestKMeansInertiaDecreasesWithK(t *testing.T) {
+	pts, _ := blobs(3, [][]float64{{0, 0}, {8, 0}, {0, 8}, {8, 8}}, 25, 1.0)
+	best := func(k int) float64 {
+		b := math.Inf(1)
+		for seed := uint64(1); seed <= 5; seed++ {
+			km, err := KMeansFit(pts, k, seed, 100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if km.Inertia < b {
+				b = km.Inertia
+			}
+		}
+		return b
+	}
+	prev := math.Inf(1)
+	for k := 1; k <= 5; k++ {
+		in := best(k)
+		if in > prev+1e-9 {
+			t.Fatalf("inertia increased from k=%d to k=%d", k-1, k)
+		}
+		prev = in
+	}
+}

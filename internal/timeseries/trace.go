@@ -1,0 +1,299 @@
+// Package timeseries provides the two time-domain representations used
+// throughout the simulator:
+//
+//   - Trace: an exact, piecewise-constant power signal produced by the
+//     hardware models (a kernel draws P watts for d seconds). Traces
+//     support exact energy integration and pointwise algebra, which is
+//     how a node's total power is assembled from its components.
+//
+//   - Series: a sampled signal, as a telemetry system like LDMS would
+//     record it. Series are produced by sampling a Trace at an interval
+//     and support the window-average down-sampling the paper applies to
+//     its 0.1 s data (Fig. 2).
+package timeseries
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Segment is one constant-power span of a Trace.
+type Segment struct {
+	Start float64 // seconds since trace origin
+	Dur   float64 // seconds, > 0
+	Power float64 // watts
+}
+
+// End returns the segment's end time.
+func (s Segment) End() float64 { return s.Start + s.Dur }
+
+// Trace is a piecewise-constant power signal. Segments are contiguous
+// and ordered; gaps are not allowed (append zero-power segments to
+// represent idle time). The zero value is an empty trace ready to use.
+type Trace struct {
+	segs []Segment
+}
+
+// ErrEmptyTrace is returned by operations that need at least one segment.
+var ErrEmptyTrace = errors.New("timeseries: empty trace")
+
+// Append adds a constant-power span of the given duration to the end of
+// the trace. Zero-duration spans are ignored; negative durations panic
+// (they indicate a simulator bug).
+func (t *Trace) Append(dur, power float64) {
+	if dur < 0 {
+		panic(fmt.Sprintf("timeseries: negative segment duration %v", dur))
+	}
+	if dur == 0 {
+		return
+	}
+	start := t.Duration()
+	// Merge with the previous segment when power is identical; keeps
+	// traces compact when a phase emits many same-power kernels.
+	if n := len(t.segs); n > 0 && t.segs[n-1].Power == power {
+		t.segs[n-1].Dur += dur
+		return
+	}
+	t.segs = append(t.segs, Segment{Start: start, Dur: dur, Power: power})
+}
+
+// Segments returns the underlying segments (not a copy; callers must
+// not mutate).
+func (t *Trace) Segments() []Segment { return t.segs }
+
+// Len returns the number of segments.
+func (t *Trace) Len() int { return len(t.segs) }
+
+// Duration returns the total trace duration in seconds.
+func (t *Trace) Duration() float64 {
+	if len(t.segs) == 0 {
+		return 0
+	}
+	last := t.segs[len(t.segs)-1]
+	return last.Start + last.Dur
+}
+
+// Energy returns the exact integral of power over time, in joules.
+func (t *Trace) Energy() float64 {
+	var e float64
+	for _, s := range t.segs {
+		e += s.Power * s.Dur
+	}
+	return e
+}
+
+// MeanPower returns energy divided by duration, or 0 for an empty trace.
+func (t *Trace) MeanPower() float64 {
+	d := t.Duration()
+	if d == 0 {
+		return 0
+	}
+	return t.Energy() / d
+}
+
+// MaxPower returns the maximum segment power (0 for an empty trace).
+func (t *Trace) MaxPower() float64 {
+	m := 0.0
+	for i, s := range t.segs {
+		if i == 0 || s.Power > m {
+			m = s.Power
+		}
+	}
+	return m
+}
+
+// MinPower returns the minimum segment power (0 for an empty trace).
+func (t *Trace) MinPower() float64 {
+	if len(t.segs) == 0 {
+		return 0
+	}
+	m := t.segs[0].Power
+	for _, s := range t.segs[1:] {
+		if s.Power < m {
+			m = s.Power
+		}
+	}
+	return m
+}
+
+// PowerAt returns the power at time x. Times before the trace return
+// the first segment's power; times at or beyond the end return the
+// last segment's power (a sensor polled "just after" a job sees the
+// final state). An empty trace returns 0.
+func (t *Trace) PowerAt(x float64) float64 {
+	n := len(t.segs)
+	if n == 0 {
+		return 0
+	}
+	if x < t.segs[0].Start {
+		return t.segs[0].Power
+	}
+	// Binary search for the segment containing x.
+	i := sort.Search(n, func(i int) bool { return t.segs[i].End() > x })
+	if i == n {
+		return t.segs[n-1].Power
+	}
+	return t.segs[i].Power
+}
+
+// EnergyBetween integrates power over [a, b] exactly. Portions outside
+// the trace contribute nothing. Returns 0 if b <= a.
+func (t *Trace) EnergyBetween(a, b float64) float64 {
+	if b <= a || len(t.segs) == 0 {
+		return 0
+	}
+	var e float64
+	for _, s := range t.segs {
+		lo := math.Max(a, s.Start)
+		hi := math.Min(b, s.End())
+		if hi > lo {
+			e += s.Power * (hi - lo)
+		}
+	}
+	return e
+}
+
+// MeanBetween returns the average power over the window [a, b],
+// counting only the portion covered by the trace. Returns 0 when the
+// window does not overlap the trace.
+func (t *Trace) MeanBetween(a, b float64) float64 {
+	if b <= a || len(t.segs) == 0 {
+		return 0
+	}
+	covLo := math.Max(a, t.segs[0].Start)
+	covHi := math.Min(b, t.Duration())
+	if covHi <= covLo {
+		return 0
+	}
+	return t.EnergyBetween(a, b) / (covHi - covLo)
+}
+
+// Clone returns a deep copy of the trace.
+func (t *Trace) Clone() *Trace {
+	c := &Trace{segs: make([]Segment, len(t.segs))}
+	copy(c.segs, t.segs)
+	return c
+}
+
+// Scale returns a new trace with every power value multiplied by k.
+func (t *Trace) Scale(k float64) *Trace {
+	c := t.Clone()
+	for i := range c.segs {
+		c.segs[i].Power *= k
+	}
+	return c
+}
+
+// Shift returns a new trace whose origin is moved by dt seconds
+// (dt >= 0): a zero-power segment of length dt is prepended.
+func (t *Trace) Shift(dt float64) *Trace {
+	if dt < 0 {
+		panic("timeseries: negative shift")
+	}
+	c := &Trace{}
+	if dt > 0 {
+		c.Append(dt, 0)
+	}
+	for _, s := range t.segs {
+		c.Append(s.Dur, s.Power)
+	}
+	return c
+}
+
+// Sum returns the pointwise sum of the given traces. Each input is
+// treated as zero outside its own duration, so traces of different
+// lengths may be summed; the result spans the longest input. The sum
+// of zero traces is an empty trace.
+func Sum(traces ...*Trace) *Trace {
+	// Collect all breakpoints.
+	var points []float64
+	for _, tr := range traces {
+		for _, s := range tr.segs {
+			points = append(points, s.Start, s.End())
+		}
+	}
+	if len(points) == 0 {
+		return &Trace{}
+	}
+	sort.Float64s(points)
+	// Deduplicate (within a tiny tolerance to absorb fp noise from
+	// repeated accumulation of segment durations).
+	const eps = 1e-12
+	uniq := points[:1]
+	for _, p := range points[1:] {
+		if p-uniq[len(uniq)-1] > eps {
+			uniq = append(uniq, p)
+		}
+	}
+	out := &Trace{}
+	for i := 0; i+1 < len(uniq); i++ {
+		a, b := uniq[i], uniq[i+1]
+		mid := (a + b) / 2
+		var p float64
+		for _, tr := range traces {
+			if mid >= 0 && mid < tr.Duration() {
+				p += tr.PowerAt(mid)
+			}
+		}
+		out.Append(b-a, p)
+	}
+	// Normalize origin: Sum assumes all traces start at 0; if the first
+	// breakpoint is positive, prepend zero power from t=0.
+	if len(out.segs) > 0 && uniq[0] > eps {
+		shifted := &Trace{}
+		shifted.Append(uniq[0], 0)
+		for _, s := range out.segs {
+			shifted.Append(s.Dur, s.Power)
+		}
+		return shifted
+	}
+	// Fix up start times after the merge-on-append optimization.
+	return out
+}
+
+// Concat appends all of src's segments (in order) to dst.
+func (t *Trace) Concat(src *Trace) {
+	for _, s := range src.segs {
+		t.Append(s.Dur, s.Power)
+	}
+}
+
+// Sample produces a Series by averaging the trace over consecutive
+// windows of length interval seconds, timestamping each sample at the
+// window end (as a polling sampler would). The final partial window,
+// if any, is averaged over the covered portion.
+func (t *Trace) Sample(interval float64) Series {
+	if interval <= 0 {
+		panic("timeseries: non-positive sampling interval")
+	}
+	dur := t.Duration()
+	n := int(math.Ceil(dur/interval - 1e-9))
+	s := Series{
+		Times:  make([]float64, 0, n),
+		Values: make([]float64, 0, n),
+	}
+	for i := 0; i < n; i++ {
+		a := float64(i) * interval
+		b := math.Min(a+interval, dur)
+		s.Times = append(s.Times, b)
+		s.Values = append(s.Values, t.MeanBetween(a, b))
+	}
+	return s
+}
+
+// SampleInstant produces a Series of instantaneous power readings at
+// t = interval, 2·interval, ... (decimation rather than averaging).
+func (t *Trace) SampleInstant(interval float64) Series {
+	if interval <= 0 {
+		panic("timeseries: non-positive sampling interval")
+	}
+	dur := t.Duration()
+	s := Series{}
+	for x := interval; x <= dur+1e-9; x += interval {
+		s.Times = append(s.Times, x)
+		s.Values = append(s.Values, t.PowerAt(math.Min(x, dur)-1e-12))
+	}
+	return s
+}

@@ -1,0 +1,141 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRunBasicProtocol(t *testing.T) {
+	b, _ := ByName("B.hR105_hse")
+	out, err := Run(RunSpec{Bench: b, Nodes: 1, Repeats: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Runtimes) != 3 {
+		t.Fatalf("runtimes = %d", len(out.Runtimes))
+	}
+	// Best is the minimum.
+	for _, rt := range out.Runtimes {
+		if rt < out.Runtimes[out.Best] {
+			t.Fatal("Best is not the minimum runtime")
+		}
+	}
+	if out.VASPEnd <= out.VASPStart {
+		t.Fatal("empty VASP window")
+	}
+	if math.Abs((out.VASPEnd-out.VASPStart)-out.Runtimes[out.Best]) > 1e-6 {
+		t.Fatal("window does not match best runtime")
+	}
+	if w, ok := out.PhaseWindows["vasp"]; !ok || w[0] != out.VASPStart {
+		t.Fatal("vasp phase window missing")
+	}
+}
+
+func TestRunRepeatsVary(t *testing.T) {
+	b, _ := ByName("B.hR105_hse")
+	out, err := Run(RunSpec{Bench: b, Nodes: 1, Repeats: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allEqual := true
+	for _, rt := range out.Runtimes[1:] {
+		if rt != out.Runtimes[0] {
+			allEqual = false
+		}
+	}
+	if allEqual {
+		t.Fatal("five repeats produced identical runtimes (no jitter)")
+	}
+	// Jitter is small: spread under 5%.
+	lo, hi := out.Runtimes[0], out.Runtimes[0]
+	for _, rt := range out.Runtimes {
+		lo = math.Min(lo, rt)
+		hi = math.Max(hi, rt)
+	}
+	if (hi-lo)/lo > 0.05 {
+		t.Fatalf("runtime spread %.1f%% too large", (hi-lo)/lo*100)
+	}
+}
+
+func TestRunPreludePhases(t *testing.T) {
+	b, _ := ByName("B.hR105_hse")
+	out, err := Run(RunSpec{Bench: b, Nodes: 2, Repeats: 1, Prelude: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, phase := range []string{"dgemm", "stream", "idle", "vasp"} {
+		w, ok := out.PhaseWindows[phase]
+		if !ok || w[1] <= w[0] {
+			t.Fatalf("phase %s window missing or empty", phase)
+		}
+	}
+	// DGEMM runs hot, near the GPU cap; idle sits at node idle power.
+	n := out.Nodes[0]
+	dg := out.PhaseWindows["dgemm"]
+	idle := out.PhaseWindows["idle"]
+	dgemmGPU := n.GPUTrace(0).MeanBetween(dg[0], dg[1])
+	if dgemmGPU < 350 {
+		t.Fatalf("DGEMM GPU power %.0f W, want near TDP", dgemmGPU)
+	}
+	idleNode := n.TotalTrace().MeanBetween(idle[0], idle[1])
+	if idleNode < 390 || idleNode > 530 {
+		t.Fatalf("idle node power %.0f W outside published band", idleNode)
+	}
+}
+
+func TestRunAppliesPowerCap(t *testing.T) {
+	b, _ := ByName("B.hR105_hse")
+	out, err := Run(RunSpec{Bench: b, Nodes: 1, Repeats: 1, GPUPowerLimit: 200, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max := out.Nodes[0].GPUTrace(0).MaxPower(); max > 200.01 {
+		t.Fatalf("GPU exceeded 200 W cap: %.1f", max)
+	}
+	if _, err := Run(RunSpec{Bench: b, Nodes: 1, Repeats: 1, GPUPowerLimit: 50}); err == nil {
+		t.Fatal("invalid cap accepted")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	b, _ := ByName("B.hR105_hse")
+	if _, err := Run(RunSpec{Bench: b, Nodes: 0}); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	bad := b
+	bad.NELM = 0
+	if _, err := Run(RunSpec{Bench: bad, Nodes: 1}); err == nil {
+		t.Fatal("invalid benchmark accepted")
+	}
+}
+
+func TestRunDeterministicAcrossCalls(t *testing.T) {
+	b, _ := ByName("B.hR105_hse")
+	a, err := Run(RunSpec{Bench: b, Nodes: 1, Repeats: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Run(RunSpec{Bench: b, Nodes: 1, Repeats: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Runtimes {
+		if a.Runtimes[i] != c.Runtimes[i] {
+			t.Fatal("same seed produced different runtimes")
+		}
+	}
+}
+
+func TestMicroSchedules(t *testing.T) {
+	dg := DGEMMSchedule(10)
+	if len(dg.Steps) != 1 || dg.Steps[0].GPU.Flops <= 0 {
+		t.Fatal("DGEMM schedule malformed")
+	}
+	st := StreamSchedule(10)
+	if len(st.Steps) != 1 || st.Steps[0].GPU.Bytes <= 0 {
+		t.Fatal("STREAM schedule malformed")
+	}
+	if st.Steps[0].GPU.SMActivity >= dg.Steps[0].GPU.ComputeOcc {
+		t.Fatal("STREAM should run cooler than DGEMM")
+	}
+}
