@@ -9,6 +9,14 @@ package vasppower_test
 //
 // The per-iteration wall time is the cost of regenerating the whole
 // experiment; cmd/powerstudy prints the actual figures.
+//
+// Cache policy: every benchmark calls experiments.ResetCache() at the
+// top of each iteration, without exception — even for runners that do
+// not currently consult the shared measurement cache (TableI renders
+// static data; the scheduler and MILC studies keep their own state).
+// A cold cache per iteration is what makes the numbers comparable
+// across benchmarks and stable when a runner later gains or loses
+// cached measurements.
 
 import (
 	"testing"
@@ -24,6 +32,7 @@ func benchCfg() experiments.Config {
 
 func BenchmarkTableI(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		experiments.ResetCache()
 		if _, err := experiments.RunTableI(benchCfg()); err != nil {
 			b.Fatal(err)
 		}
@@ -131,6 +140,7 @@ func BenchmarkFig13CapsAcrossNodeCounts(b *testing.B) {
 
 func BenchmarkExtScheduler(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		experiments.ResetCache()
 		if _, err := experiments.RunExtScheduler(benchCfg()); err != nil {
 			b.Fatal(err)
 		}
@@ -139,6 +149,7 @@ func BenchmarkExtScheduler(b *testing.B) {
 
 func BenchmarkExtRepeats(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		experiments.ResetCache()
 		if _, err := experiments.RunExtRepeats(benchCfg()); err != nil {
 			b.Fatal(err)
 		}
@@ -165,6 +176,7 @@ func BenchmarkExtDPowerPrediction(b *testing.B) {
 
 func BenchmarkExtEMILC(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		experiments.ResetCache()
 		if _, err := experiments.RunExtE(benchCfg()); err != nil {
 			b.Fatal(err)
 		}

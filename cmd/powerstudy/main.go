@@ -4,15 +4,22 @@
 //
 // Usage:
 //
-//	powerstudy [-quick] [-seed N] [-repeats N] [-only table1,fig3,...] [-artifact DIR]
+//	powerstudy [-quick] [-seed N] [-repeats N] [-parallel N] [-only table1,fig3,...] [-artifact DIR]
 //
 // Experiment names: table1, fig1..fig13, exta (scheduler ablation),
 // extb (repeat protocol), extc (DVFS vs capping), extd (power
 // prediction), exte (MILC, the second application), extf (top-down
 // signature clustering), extg (metric ablation).
+//
+// -parallel N runs the experiment list (and each experiment's internal
+// sweeps) through a worker pool of N goroutines (0 = one per CPU,
+// 1 = serial). Results are identical for every value: all randomness
+// is seed-derived, never order-derived, and output stays in experiment
+// order.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +28,7 @@ import (
 
 	"vasppower/internal/artifact"
 	"vasppower/internal/experiments"
+	"vasppower/internal/par"
 )
 
 type result interface {
@@ -28,15 +36,30 @@ type result interface {
 	CSV() artifact.Table
 }
 
+// unit is one independently-runnable entry of the experiment list.
+type unit struct {
+	name string
+	run  func() (string, []artifact.Table, error)
+}
+
+// output is a completed unit's contribution, printed strictly in list
+// order regardless of completion order.
+type output struct {
+	text   string
+	tables []artifact.Table
+	err    error
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "trimmed sweeps and single repeats (seconds instead of minutes)")
 	seed := flag.Uint64("seed", 2024, "root random seed")
 	repeats := flag.Int("repeats", 0, "repeats per measurement (0 = paper default of 5, or 1 in quick mode)")
+	parallel := flag.Int("parallel", 0, "worker pool size for experiments and their sweeps (0 = one per CPU, 1 = serial)")
 	only := flag.String("only", "", "comma-separated experiment list (default: all)")
 	artifactDir := flag.String("artifact", "", "directory for CSV data exports (empty = no export)")
 	flag.Parse()
 
-	cfg := experiments.Config{Seed: *seed, Repeats: *repeats, Quick: *quick}
+	cfg := experiments.Config{Seed: *seed, Repeats: *repeats, Quick: *quick, Workers: *parallel}
 
 	selected := map[string]bool{}
 	if *only != "" {
@@ -46,91 +69,134 @@ func main() {
 	}
 	want := func(name string) bool { return len(selected) == 0 || selected[name] }
 
-	var tables []artifact.Table
-	emit := func(name string, r result, elapsed time.Duration) {
-		fmt.Println(strings.Repeat("=", 78))
-		fmt.Println(r.Render())
-		fmt.Printf("[%s regenerated in %.1fs]\n\n", name, elapsed.Seconds())
-		if *artifactDir != "" {
-			tables = append(tables, r.CSV())
-		}
-	}
-	run := func(name string, f func() (result, error)) {
-		if !want(name) {
-			return
-		}
-		start := time.Now()
-		r, err := f()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
-		}
-		emit(name, r, time.Since(start))
+	exportCSV := *artifactDir != ""
+	sep := strings.Repeat("=", 78)
+	// simple wraps a single-result experiment in the standard emit
+	// format (separator, render, timing line).
+	simple := func(name string, f func() (result, error)) unit {
+		return unit{name: name, run: func() (string, []artifact.Table, error) {
+			start := time.Now()
+			r, err := f()
+			if err != nil {
+				return "", nil, err
+			}
+			var sb strings.Builder
+			fmt.Fprintln(&sb, sep)
+			fmt.Fprintln(&sb, r.Render())
+			fmt.Fprintf(&sb, "[%s regenerated in %.1fs]\n\n", name, time.Since(start).Seconds())
+			var tabs []artifact.Table
+			if exportCSV {
+				tabs = append(tabs, r.CSV())
+			}
+			return sb.String(), tabs, nil
+		}}
 	}
 
-	run("table1", func() (result, error) { r, err := experiments.RunTableI(cfg); return r, err })
-	run("fig1", func() (result, error) { r, err := experiments.RunFig1(cfg); return r, err })
-	run("fig2", func() (result, error) { r, err := experiments.RunFig2(cfg); return r, err })
-	run("fig3", func() (result, error) { r, err := experiments.RunFig3(cfg); return r, err })
+	var units []unit
+	add := func(name string, f func() (result, error)) {
+		if want(name) {
+			units = append(units, simple(name, f))
+		}
+	}
+
+	add("table1", func() (result, error) { r, err := experiments.RunTableI(cfg); return r, err })
+	add("fig1", func() (result, error) { r, err := experiments.RunFig1(cfg); return r, err })
+	add("fig2", func() (result, error) { r, err := experiments.RunFig2(cfg); return r, err })
+	add("fig3", func() (result, error) { r, err := experiments.RunFig3(cfg); return r, err })
 
 	if want("fig4") || want("fig5") {
-		start := time.Now()
-		sc, err := experiments.RunScaling(cfg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "fig4/5: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Println(strings.Repeat("=", 78))
-		if want("fig4") {
-			fmt.Println(sc.Fig4Render())
-		}
-		if want("fig5") {
-			fmt.Println(sc.Fig5Render())
-		}
-		lo, hi := sc.ModeRange()
-		fmt.Printf("[fig4+fig5 regenerated in %.1fs; 1-node mode range %.0f–%.0f W (paper: 766–1814 W)]\n\n",
-			time.Since(start).Seconds(), lo, hi)
-		if *artifactDir != "" {
-			tables = append(tables, sc.CSV())
-		}
+		units = append(units, unit{name: "fig4/5", run: func() (string, []artifact.Table, error) {
+			start := time.Now()
+			sc, err := experiments.RunScaling(cfg)
+			if err != nil {
+				return "", nil, err
+			}
+			var sb strings.Builder
+			fmt.Fprintln(&sb, sep)
+			if want("fig4") {
+				fmt.Fprintln(&sb, sc.Fig4Render())
+			}
+			if want("fig5") {
+				fmt.Fprintln(&sb, sc.Fig5Render())
+			}
+			lo, hi := sc.ModeRange()
+			fmt.Fprintf(&sb, "[fig4+fig5 regenerated in %.1fs; 1-node mode range %.0f–%.0f W (paper: 766–1814 W)]\n\n",
+				time.Since(start).Seconds(), lo, hi)
+			var tabs []artifact.Table
+			if exportCSV {
+				tabs = append(tabs, sc.CSV())
+			}
+			return sb.String(), tabs, nil
+		}})
 	}
 
-	run("fig6", func() (result, error) { r, err := experiments.RunFig6(cfg); return r, err })
-	run("fig7", func() (result, error) { r, err := experiments.RunFig7(cfg); return r, err })
-	run("fig8", func() (result, error) { r, err := experiments.RunFig8(cfg); return r, err })
-	run("fig9", func() (result, error) { r, err := experiments.RunFig9(cfg); return r, err })
+	add("fig6", func() (result, error) { r, err := experiments.RunFig6(cfg); return r, err })
+	add("fig7", func() (result, error) { r, err := experiments.RunFig7(cfg); return r, err })
+	add("fig8", func() (result, error) { r, err := experiments.RunFig8(cfg); return r, err })
+	add("fig9", func() (result, error) { r, err := experiments.RunFig9(cfg); return r, err })
 
 	if want("fig10") || want("fig12") {
-		start := time.Now()
-		cs, err := experiments.RunCapStudy(cfg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "fig10/12: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Println(strings.Repeat("=", 78))
-		if want("fig10") {
-			fmt.Println(cs.Fig10Render())
-		}
-		if want("fig12") {
-			fmt.Println(cs.Fig12Render())
-		}
-		fmt.Printf("[fig10+fig12 regenerated in %.1fs]\n\n", time.Since(start).Seconds())
-		if *artifactDir != "" {
-			tables = append(tables, cs.CSV())
-		}
+		units = append(units, unit{name: "fig10/12", run: func() (string, []artifact.Table, error) {
+			start := time.Now()
+			cs, err := experiments.RunCapStudy(cfg)
+			if err != nil {
+				return "", nil, err
+			}
+			var sb strings.Builder
+			fmt.Fprintln(&sb, sep)
+			if want("fig10") {
+				fmt.Fprintln(&sb, cs.Fig10Render())
+			}
+			if want("fig12") {
+				fmt.Fprintln(&sb, cs.Fig12Render())
+			}
+			fmt.Fprintf(&sb, "[fig10+fig12 regenerated in %.1fs]\n\n", time.Since(start).Seconds())
+			var tabs []artifact.Table
+			if exportCSV {
+				tabs = append(tabs, cs.CSV())
+			}
+			return sb.String(), tabs, nil
+		}})
 	}
 
-	run("fig11", func() (result, error) { r, err := experiments.RunFig11(cfg); return r, err })
-	run("fig13", func() (result, error) { r, err := experiments.RunFig13(cfg); return r, err })
-	run("exta", func() (result, error) { r, err := experiments.RunExtScheduler(cfg); return r, err })
-	run("extb", func() (result, error) { r, err := experiments.RunExtRepeats(cfg); return r, err })
-	run("extc", func() (result, error) { r, err := experiments.RunExtC(cfg); return r, err })
-	run("extd", func() (result, error) { r, err := experiments.RunExtD(cfg); return r, err })
-	run("exte", func() (result, error) { r, err := experiments.RunExtE(cfg); return r, err })
-	run("extf", func() (result, error) { r, err := experiments.RunExtF(cfg); return r, err })
-	run("extg", func() (result, error) { r, err := experiments.RunExtG(cfg); return r, err })
+	add("fig11", func() (result, error) { r, err := experiments.RunFig11(cfg); return r, err })
+	add("fig13", func() (result, error) { r, err := experiments.RunFig13(cfg); return r, err })
+	add("exta", func() (result, error) { r, err := experiments.RunExtScheduler(cfg); return r, err })
+	add("extb", func() (result, error) { r, err := experiments.RunExtRepeats(cfg); return r, err })
+	add("extc", func() (result, error) { r, err := experiments.RunExtC(cfg); return r, err })
+	add("extd", func() (result, error) { r, err := experiments.RunExtD(cfg); return r, err })
+	add("exte", func() (result, error) { r, err := experiments.RunExtE(cfg); return r, err })
+	add("extf", func() (result, error) { r, err := experiments.RunExtF(cfg); return r, err })
+	add("extg", func() (result, error) { r, err := experiments.RunExtG(cfg); return r, err })
 
-	if *artifactDir != "" && len(tables) > 0 {
+	// The experiment list itself goes through the pool: each unit's
+	// output lands in its slot and is printed strictly in list order as
+	// it becomes ready. A failed unit exits with its own error, at its
+	// position in the list, exactly like the serial CLI did.
+	outputs := make([]output, len(units))
+	done := make([]chan struct{}, len(units))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	go par.ForEach(context.Background(), par.Workers(*parallel), len(units),
+		func(_ context.Context, i int) error {
+			outputs[i].text, outputs[i].tables, outputs[i].err = units[i].run()
+			close(done[i])
+			return nil // errors surface in list order below
+		})
+
+	var tables []artifact.Table
+	for i := range units {
+		<-done[i]
+		if err := outputs[i].err; err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", units[i].name, err)
+			os.Exit(1)
+		}
+		fmt.Print(outputs[i].text)
+		tables = append(tables, outputs[i].tables...)
+	}
+
+	if exportCSV && len(tables) > 0 {
 		paths, err := artifact.Write(*artifactDir, tables...)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "artifact export: %v\n", err)

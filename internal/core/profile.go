@@ -6,10 +6,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"vasppower/internal/hw/node"
+	"vasppower/internal/par"
 	"vasppower/internal/stats"
 	"vasppower/internal/timeseries"
 	"vasppower/internal/workloads"
@@ -112,14 +114,25 @@ func ProfileRun(out workloads.RunOutput, interval float64) JobProfile {
 }
 
 // MeasureBenchmark runs a benchmark with the paper's protocol and
-// returns its profile.
+// returns its profile. Repeats run serially; use
+// MeasureBenchmarkWorkers to fan them out.
 func MeasureBenchmark(b workloads.Benchmark, nodes, repeats int, capW float64, seed uint64) (JobProfile, error) {
+	return MeasureBenchmarkWorkers(b, nodes, repeats, capW, seed, 1)
+}
+
+// MeasureBenchmarkWorkers is MeasureBenchmark with the repeat loop fanned
+// out over `workers` goroutines (0 = one per CPU, 1 = serial). The
+// profile is identical for every worker count: each repeat draws from
+// its own seed-split noise stream and the minimum-runtime repeat is
+// selected by index.
+func MeasureBenchmarkWorkers(b workloads.Benchmark, nodes, repeats int, capW float64, seed uint64, workers int) (JobProfile, error) {
 	out, err := workloads.Run(workloads.RunSpec{
 		Bench:         b,
 		Nodes:         nodes,
 		GPUPowerLimit: capW,
 		Repeats:       repeats,
 		Seed:          seed,
+		Workers:       workers,
 	})
 	if err != nil {
 		return JobProfile{}, err
@@ -148,21 +161,56 @@ type CapResponse struct {
 }
 
 // MeasureCapResponse runs the benchmark under each cap (0 or 400 =
-// default first) and returns the response.
+// default first) and returns the response. Measurements run serially;
+// use MeasureCapResponseWorkers to fan the cap points out.
 func MeasureCapResponse(b workloads.Benchmark, nodes int, caps []float64, repeats int, seed uint64) (CapResponse, error) {
+	return MeasureCapResponseWorkers(b, nodes, caps, repeats, seed, 1)
+}
+
+// MeasureCapResponseWorkers measures the uncapped baseline and every
+// effective cap (< 400 W) concurrently across `workers` goroutines
+// (0 = one per CPU, 1 = serial) and assembles the response in cap
+// order. Each cap point is an independent run at the same seed, so the
+// response is identical for every worker count. Caps of 0 or ≥ 400 W
+// reuse the baseline measurement, as on the real machine where 400 W
+// is the default limit.
+func MeasureCapResponseWorkers(b workloads.Benchmark, nodes int, caps []float64, repeats int, seed uint64, workers int) (CapResponse, error) {
 	cr := CapResponse{Bench: b.Name, Nodes: nodes}
-	base, err := MeasureBenchmark(b, nodes, repeats, 0, seed)
+	// Slot 0 is the uncapped baseline; slot i+1 is caps[i], measured
+	// only when the cap actually binds.
+	profiles := make([]JobProfile, len(caps)+1)
+	need := make([]bool, len(caps)+1)
+	need[0] = true
+	for i, cap := range caps {
+		if cap > 0 && cap < 400 {
+			need[i+1] = true
+		}
+	}
+	err := par.ForEach(context.Background(), par.Workers(workers), len(profiles),
+		func(_ context.Context, i int) error {
+			if !need[i] {
+				return nil
+			}
+			capW := 0.0
+			if i > 0 {
+				capW = caps[i-1]
+			}
+			jp, err := MeasureBenchmark(b, nodes, repeats, capW, seed)
+			if err != nil {
+				return err
+			}
+			profiles[i] = jp
+			return nil
+		})
 	if err != nil {
 		return cr, err
 	}
+	base := profiles[0]
 	cr.Baseline = base.Runtime
-	for _, cap := range caps {
+	for i, cap := range caps {
 		jp := base
-		if cap > 0 && cap < 400 {
-			jp, err = MeasureBenchmark(b, nodes, repeats, cap, seed)
-			if err != nil {
-				return cr, err
-			}
+		if need[i+1] {
+			jp = profiles[i+1]
 		}
 		pt := CapPoint{
 			CapW:    cap,

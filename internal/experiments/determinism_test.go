@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"vasppower/internal/core"
+	"vasppower/internal/workloads"
+)
+
+// The parallel engine's contract: worker count is invisible in the
+// results. Every random draw comes from a seed-split stream and every
+// result lands in a slot chosen by index, so Workers:8 must reproduce
+// Workers:1 bit for bit — including with Repeats > 1, where the
+// repeats themselves fan out.
+
+func TestRunScalingParallelMatchesSerial(t *testing.T) {
+	serialCfg := Config{Seed: 42, Quick: true, Repeats: 2, Workers: 1}
+	parallelCfg := serialCfg
+	parallelCfg.Workers = 8
+
+	ResetCache()
+	serial, err := RunScaling(serialCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ResetCache()
+	parallel, err := RunScaling(parallelCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("RunScaling: Workers:8 result differs from Workers:1 at the same seed")
+	}
+}
+
+func TestRunCapStudyParallelMatchesSerial(t *testing.T) {
+	serialCfg := Config{Seed: 42, Quick: true, Repeats: 2, Workers: 1}
+	parallelCfg := serialCfg
+	parallelCfg.Workers = 8
+
+	ResetCache()
+	serial, err := RunCapStudy(serialCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ResetCache()
+	parallel, err := RunCapStudy(parallelCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("RunCapStudy: Workers:8 result differs from Workers:1 at the same seed")
+	}
+}
+
+// Hammer the shared measurement cache from many goroutines asking for
+// a handful of overlapping keys. Under -race this is the proof that
+// the singleflight cache and the measurement path are data-race free;
+// in any mode it checks that concurrent callers of the same key all
+// observe the same profile.
+func TestConcurrentMeasureConsistency(t *testing.T) {
+	ResetCache()
+	benches := workloads.TableI()[:3]
+
+	// Reference profiles, measured serially on a fresh cache.
+	want := make([]core.JobProfile, len(benches))
+	for i, b := range benches {
+		jp, err := measure(b, 1, 1, 0, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = jp
+	}
+	ResetCache()
+
+	const goroutines = 16
+	const iters = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				i := (g + it) % len(benches)
+				jp, err := measure(benches[i], 1, 1, 0, 42)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(jp, want[i]) {
+					t.Errorf("goroutine %d: %s profile differs from serial reference", g, benches[i].Name)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

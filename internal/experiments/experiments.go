@@ -6,10 +6,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
 	"vasppower/internal/core"
+	"vasppower/internal/memo"
+	"vasppower/internal/par"
 	"vasppower/internal/workloads"
 )
 
@@ -23,6 +25,12 @@ type Config struct {
 	// Quick trims sweeps and repeats so the full suite runs in
 	// seconds (used by tests; the defaults reproduce the paper).
 	Quick bool
+	// Workers bounds how many measurements a runner executes
+	// concurrently (0 = one per available CPU, 1 = serial). Every
+	// measurement is seeded independently of execution order and every
+	// sweep assembles by index, so results are identical for all
+	// values.
+	Workers int
 }
 
 // DefaultConfig returns the paper-faithful configuration.
@@ -45,13 +53,15 @@ func (c Config) seed() uint64 {
 	return c.Seed
 }
 
+// workers resolves Config.Workers to an effective pool size.
+func (c Config) workers() int { return par.Workers(c.Workers) }
+
 // measurement cache: the scaling, capping, and profiling figures share
 // many runs; each (benchmark, nodes, cap, repeats, seed) is measured
-// once per process.
-var (
-	cacheMu sync.Mutex
-	cache   = map[string]core.JobProfile{}
-)
+// once per process. The sharded singleflight cache deduplicates
+// concurrent misses — when parallel runners race to the same key, one
+// computes and the rest wait for its result.
+var cache = memo.New[core.JobProfile]()
 
 // measure runs (or recalls) one benchmark measurement. The key
 // includes the size parameters so same-named variants (e.g. a
@@ -60,29 +70,14 @@ func measure(b workloads.Benchmark, nodes, repeats int, capW float64, seed uint6
 	key := fmt.Sprintf("%s|%d|%d|%d|%d|%.0f|%d|%.0f|%d|%d",
 		b.Name, b.NPLWV(), b.NBands, b.NBandsExact, b.NELM, b.ENCUT,
 		nodes, capW, repeats, seed)
-	cacheMu.Lock()
-	if jp, ok := cache[key]; ok {
-		cacheMu.Unlock()
-		return jp, nil
-	}
-	cacheMu.Unlock()
-	jp, err := core.MeasureBenchmark(b, nodes, repeats, capW, seed)
-	if err != nil {
-		return core.JobProfile{}, err
-	}
-	cacheMu.Lock()
-	cache[key] = jp
-	cacheMu.Unlock()
-	return jp, nil
+	return cache.Do(context.Background(), key, func() (core.JobProfile, error) {
+		return core.MeasureBenchmark(b, nodes, repeats, capW, seed)
+	})
 }
 
 // ResetCache clears the measurement cache (tests use it to force
 // fresh runs).
-func ResetCache() {
-	cacheMu.Lock()
-	cache = map[string]core.JobProfile{}
-	cacheMu.Unlock()
-}
+func ResetCache() { cache.Reset() }
 
 // highMode extracts the node-level high power mode (0 when absent).
 func highMode(jp core.JobProfile) float64 {

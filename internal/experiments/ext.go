@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"vasppower/internal/par"
 	"vasppower/internal/report"
 	"vasppower/internal/sched"
 	"vasppower/internal/stats"
@@ -36,19 +38,28 @@ func RunExtScheduler(cfg Config) (ExtSchedulerResult, error) {
 		sched.UniformCap{Watts: 200, HostWatts: 350},
 		sched.DefaultProfileAware(),
 	}
-	for _, p := range policies {
-		r, err := sched.Simulate(sched.SimConfig{
-			ClusterNodes: nodes,
-			BudgetW:      budget,
-			IdleNodeW:    460,
-			Policy:       p,
-			Catalog:      sched.NewCatalog(cfg.seed()),
-		}, jobs)
-		if err != nil {
-			return res, err
-		}
-		res.Results = append(res.Results, r)
+	// Simulate copies the job list and each policy gets its own
+	// catalog, so the three policies run concurrently.
+	results := make([]sched.Result, len(policies))
+	err := par.ForEach(context.Background(), cfg.workers(), len(policies),
+		func(_ context.Context, i int) error {
+			r, err := sched.Simulate(sched.SimConfig{
+				ClusterNodes: nodes,
+				BudgetW:      budget,
+				IdleNodeW:    460,
+				Policy:       policies[i],
+				Catalog:      sched.NewCatalog(cfg.seed()),
+			}, jobs)
+			if err != nil {
+				return err
+			}
+			results[i] = r
+			return nil
+		})
+	if err != nil {
+		return res, err
 	}
+	res.Results = results
 	return res, nil
 }
 
@@ -103,21 +114,39 @@ func RunExtRepeats(cfg Config) (ExtRepeatsResult, error) {
 	}
 	// Run each repeat separately so per-repeat power modes can be
 	// compared (the protocol's premise: runtime varies, power modes
-	// don't).
-	for i := 0; i < repeats; i++ {
-		out, err := workloads.Run(workloads.RunSpec{
-			Bench:   bench,
-			Nodes:   1,
-			Repeats: 1,
-			Seed:    cfg.seed() + uint64(i)*7919,
+	// don't). Each repeat has its own seed, so they fan out freely.
+	type rep struct {
+		runtime float64
+		mode    float64
+		hasMode bool
+	}
+	reps := make([]rep, repeats)
+	err := par.ForEach(context.Background(), cfg.workers(), repeats,
+		func(_ context.Context, i int) error {
+			out, err := workloads.Run(workloads.RunSpec{
+				Bench:   bench,
+				Nodes:   1,
+				Repeats: 1,
+				Seed:    cfg.seed() + uint64(i)*7919,
+			})
+			if err != nil {
+				return err
+			}
+			reps[i].runtime = out.BestResult.Runtime
+			s := out.Nodes[0].TotalTrace().Sample(2).Slice(out.VASPStart, out.VASPEnd)
+			if hm, ok := stats.HighPowerModeOf(s.Values); ok {
+				reps[i].mode = hm.X
+				reps[i].hasMode = true
+			}
+			return nil
 		})
-		if err != nil {
-			return res, err
-		}
-		res.Runtimes = append(res.Runtimes, out.BestResult.Runtime)
-		s := out.Nodes[0].TotalTrace().Sample(2).Slice(out.VASPStart, out.VASPEnd)
-		if hm, ok := stats.HighPowerModeOf(s.Values); ok {
-			res.ModePerRun = append(res.ModePerRun, hm.X)
+	if err != nil {
+		return res, err
+	}
+	for _, r := range reps {
+		res.Runtimes = append(res.Runtimes, r.runtime)
+		if r.hasMode {
+			res.ModePerRun = append(res.ModePerRun, r.mode)
 		}
 	}
 	sum, _ := stats.Describe(res.Runtimes)

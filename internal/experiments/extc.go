@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"vasppower/internal/core"
+	"vasppower/internal/par"
 	"vasppower/internal/report"
 	"vasppower/internal/workloads"
 )
@@ -48,71 +50,82 @@ func RunExtC(cfg Config) (ExtCResult, error) {
 	if cfg.Quick {
 		names = []string{"B.hR105_hse"}
 	}
-	for _, name := range names {
-		b, ok := workloads.ByName(name)
-		if !ok {
-			return res, fmt.Errorf("experiments: unknown benchmark %s", name)
-		}
-		row := ExtCRow{Bench: name}
-
-		base, err := measure(b, 1, cfg.repeats(), 0, cfg.seed())
-		if err != nil {
-			return res, err
-		}
-		row.BaseRuntime = base.Runtime
-
-		capped, err := measure(b, 1, cfg.repeats(), res.TargetW, cfg.seed())
-		if err != nil {
-			return res, err
-		}
-		row.CapRuntime = capped.Runtime
-		row.CapMaxGPUW = maxGPU(capped)
-		row.CapMeanGPU = meanGPU(capped)
-
-		// Find the highest clock whose instantaneous per-GPU power fits
-		// the target: bisection over the clock range, evaluating real
-		// runs and checking the exact trace maximum (DVFS gives no
-		// hardware guarantee, so compliance must hold at every instant,
-		// not just on 2 s averages).
-		loMHz, hiMHz := 210.0, 1410.0
-		eval := func(mhz float64) (core.JobProfile, float64, error) {
-			out, err := workloads.Run(workloads.RunSpec{
-				Bench: b, Nodes: 1, Repeats: cfg.repeats(),
-				GPUClockLimitMHz: mhz, Seed: cfg.seed(),
-			})
-			if err != nil {
-				return core.JobProfile{}, 0, err
+	// The DVFS bisection inside each row is inherently serial (every
+	// step depends on the previous interval), so fan out at the row
+	// level: one worker per benchmark.
+	rows := make([]ExtCRow, len(names))
+	err := par.ForEach(context.Background(), cfg.workers(), len(names),
+		func(_ context.Context, ri int) error {
+			name := names[ri]
+			b, ok := workloads.ByName(name)
+			if !ok {
+				return fmt.Errorf("experiments: unknown benchmark %s", name)
 			}
-			traceMax := 0.0
-			for i := 0; i < 4; i++ {
-				if m := out.Nodes[0].GPUTrace(i).MaxPower(); m > traceMax {
-					traceMax = m
+			row := ExtCRow{Bench: name}
+
+			base, err := measure(b, 1, cfg.repeats(), 0, cfg.seed())
+			if err != nil {
+				return err
+			}
+			row.BaseRuntime = base.Runtime
+
+			capped, err := measure(b, 1, cfg.repeats(), res.TargetW, cfg.seed())
+			if err != nil {
+				return err
+			}
+			row.CapRuntime = capped.Runtime
+			row.CapMaxGPUW = maxGPU(capped)
+			row.CapMeanGPU = meanGPU(capped)
+
+			// Find the highest clock whose instantaneous per-GPU power fits
+			// the target: bisection over the clock range, evaluating real
+			// runs and checking the exact trace maximum (DVFS gives no
+			// hardware guarantee, so compliance must hold at every instant,
+			// not just on 2 s averages).
+			loMHz, hiMHz := 210.0, 1410.0
+			eval := func(mhz float64) (core.JobProfile, float64, error) {
+				out, err := workloads.Run(workloads.RunSpec{
+					Bench: b, Nodes: 1, Repeats: cfg.repeats(),
+					GPUClockLimitMHz: mhz, Seed: cfg.seed(),
+				})
+				if err != nil {
+					return core.JobProfile{}, 0, err
+				}
+				traceMax := 0.0
+				for i := 0; i < 4; i++ {
+					if m := out.Nodes[0].GPUTrace(i).MaxPower(); m > traceMax {
+						traceMax = m
+					}
+				}
+				return core.ProfileRun(out, core.DefaultSamplingInterval), traceMax, nil
+			}
+			for i := 0; i < 8; i++ {
+				mid := (loMHz + hiMHz) / 2
+				_, traceMax, err := eval(mid)
+				if err != nil {
+					return err
+				}
+				if traceMax <= res.TargetW {
+					loMHz = mid
+				} else {
+					hiMHz = mid
 				}
 			}
-			return core.ProfileRun(out, core.DefaultSamplingInterval), traceMax, nil
-		}
-		for i := 0; i < 8; i++ {
-			mid := (loMHz + hiMHz) / 2
-			_, traceMax, err := eval(mid)
+			row.DVFSClockMHz = loMHz
+			jp, traceMax, err := eval(loMHz)
 			if err != nil {
-				return res, err
+				return err
 			}
-			if traceMax <= res.TargetW {
-				loMHz = mid
-			} else {
-				hiMHz = mid
-			}
-		}
-		row.DVFSClockMHz = loMHz
-		jp, traceMax, err := eval(loMHz)
-		if err != nil {
-			return res, err
-		}
-		row.DVFSRuntime = jp.Runtime
-		row.DVFSMaxGPUW = traceMax
-		row.DVFSMeanGPU = meanGPU(jp)
-		res.Rows = append(res.Rows, row)
+			row.DVFSRuntime = jp.Runtime
+			row.DVFSMaxGPUW = traceMax
+			row.DVFSMeanGPU = meanGPU(jp)
+			rows[ri] = row
+			return nil
+		})
+	if err != nil {
+		return res, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"vasppower/internal/dft/incar"
 	"vasppower/internal/dft/lattice"
 	"vasppower/internal/dft/method"
+	"vasppower/internal/par"
 	"vasppower/internal/predict"
 	"vasppower/internal/report"
 	"vasppower/internal/workloads"
@@ -91,7 +93,15 @@ func RunExtD(cfg Config) (ExtDResult, error) {
 		}
 		return out
 	}
-	var train []predict.Sample
+	// Flatten the training grid into index-addressed tasks, then fan
+	// the measurements out. Measurement errors are benign (a size that
+	// does not decompose at a node count contributes no sample), so fn
+	// never fails; assembly below keeps the serial corpus order.
+	type task struct {
+		bench workloads.Benchmark
+		nodes int
+	}
+	var tasks []task
 	for _, c := range combos {
 		for _, atoms := range c.sizes {
 			base, err := workloads.SiliconBenchmark(atoms, c.kind)
@@ -100,18 +110,27 @@ func RunExtD(cfg Config) (ExtDResult, error) {
 			}
 			for _, b := range variants(base, c.kind) {
 				for _, nodes := range nodeCounts {
-					jp, err := measure(b, nodes, 1, 0, cfg.seed())
-					if err != nil {
-						continue // size does not decompose at this count
-					}
-					mode := highMode(jp)
-					if mode <= 0 {
-						continue
-					}
-					train = append(train, predict.Sample{Bench: b, Nodes: nodes, NodeMode: mode})
+					tasks = append(tasks, task{bench: b, nodes: nodes})
 				}
 			}
 		}
+	}
+	modes := make([]float64, len(tasks))
+	par.ForEach(context.Background(), cfg.workers(), len(tasks),
+		func(_ context.Context, i int) error {
+			jp, err := measure(tasks[i].bench, tasks[i].nodes, 1, 0, cfg.seed())
+			if err != nil {
+				return nil // size does not decompose at this count
+			}
+			modes[i] = highMode(jp)
+			return nil
+		})
+	var train []predict.Sample
+	for i, t := range tasks {
+		if modes[i] <= 0 {
+			continue
+		}
+		train = append(train, predict.Sample{Bench: t.bench, Nodes: t.nodes, NodeMode: modes[i]})
 	}
 	res.TrainSamples = len(train)
 	model, err := predict.Fit(train, 1e-3)
@@ -128,14 +147,28 @@ func RunExtD(cfg Config) (ExtDResult, error) {
 			benches = append(benches, b)
 		}
 	}
+	type cell struct {
+		mode float64
+		err  error
+	}
+	cells := make([]cell, len(benches))
+	par.ForEach(context.Background(), cfg.workers(), len(benches),
+		func(_ context.Context, i int) error {
+			jp, err := measure(benches[i], 1, cfg.repeats(), 0, cfg.seed())
+			if err != nil {
+				cells[i].err = err
+				return err
+			}
+			cells[i].mode = highMode(jp)
+			return nil
+		})
 	var test []predict.Sample
-	for _, b := range benches {
-		jp, err := measure(b, 1, cfg.repeats(), 0, cfg.seed())
-		if err != nil {
-			return res, err
+	for i, b := range benches {
+		if cells[i].err != nil {
+			return res, cells[i].err
 		}
-		if mode := highMode(jp); mode > 0 {
-			test = append(test, predict.Sample{Bench: b, Nodes: 1, NodeMode: mode})
+		if cells[i].mode > 0 {
+			test = append(test, predict.Sample{Bench: b, Nodes: 1, NodeMode: cells[i].mode})
 		}
 	}
 	for _, s := range test {

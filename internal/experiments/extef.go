@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -8,6 +9,7 @@ import (
 	"vasppower/internal/artifact"
 	"vasppower/internal/core"
 	"vasppower/internal/dft/method"
+	"vasppower/internal/par"
 	"vasppower/internal/report"
 	"vasppower/internal/sched"
 	"vasppower/internal/stats"
@@ -44,16 +46,27 @@ func RunExtE(cfg Config) (ExtEResult, error) {
 		spec.MDSteps = 10
 	}
 	res := ExtEResult{Spec: spec, Nodes: 1}
-	var baseRuntime float64
-	for i, cap := range StudyCaps() {
-		out, err := workloads.RunMILC(workloads.MILCRunSpec{
-			Spec: spec, Nodes: res.Nodes, Repeats: cfg.repeats(),
-			GPUPowerLimit: capOrZero(cap), Seed: cfg.seed(),
+	caps := StudyCaps()
+	// Every cap point is an independent MILC run at the same seed.
+	profiles := make([]core.JobProfile, len(caps))
+	err := par.ForEach(context.Background(), cfg.workers(), len(caps),
+		func(_ context.Context, i int) error {
+			out, err := workloads.RunMILC(workloads.MILCRunSpec{
+				Spec: spec, Nodes: res.Nodes, Repeats: cfg.repeats(),
+				GPUPowerLimit: capOrZero(caps[i]), Seed: cfg.seed(),
+			})
+			if err != nil {
+				return err
+			}
+			profiles[i] = core.ProfileRun(out, core.DefaultSamplingInterval)
+			return nil
 		})
-		if err != nil {
-			return res, err
-		}
-		jp := core.ProfileRun(out, core.DefaultSamplingInterval)
+	if err != nil {
+		return res, err
+	}
+	var baseRuntime float64
+	for i, cap := range caps {
+		jp := profiles[i]
 		pt := ExtEPoint{CapW: cap, Runtime: jp.Runtime, GPUMode: gpuMode(jp), NodeMode: highMode(jp)}
 		if i == 0 {
 			baseRuntime = jp.Runtime
@@ -178,55 +191,80 @@ func RunExtF(cfg Config) (ExtFResult, error) {
 			benches = append(benches, b)
 		}
 	}
-	for _, b := range benches {
-		jp, err := measure(b, 1, cfg.repeats(), 0, cfg.seed())
-		if err != nil {
-			return res, err
-		}
-		res.Jobs = append(res.Jobs, ExtFJob{
-			Name:      b.Name,
-			TrueClass: sched.Classify(b.Method).String(),
-			Features:  signatureFeatures(jp),
-		})
-	}
-	// Silicon synthetics widen each class's membership.
-	for _, atoms := range []int{128, 512} {
-		for _, kind := range kindsForExtF(cfg) {
-			b, err := workloads.SiliconBenchmark(atoms, kind)
-			if err != nil {
-				return res, err
-			}
-			jp, err := measure(b, 1, 1, 0, cfg.seed())
-			if err != nil {
-				return res, err
-			}
-			res.Jobs = append(res.Jobs, ExtFJob{
-				Name:      "syn:" + b.Name,
-				TrueClass: sched.Classify(kind).String(),
-				Features:  signatureFeatures(jp),
-			})
-		}
-	}
-	// MILC: a fourth class the scheduler has never profiled.
+	// Flatten the fleet — Table I jobs, silicon synthetics, MILC — into
+	// one index-addressed task list and fan the profiling out.
 	spec := workloads.DefaultMILC()
 	if cfg.Quick {
 		spec.Trajectories = 2
 		spec.MDSteps = 10
 	}
-	for _, nodes := range []int{1, 2} {
-		out, err := workloads.RunMILC(workloads.MILCRunSpec{
-			Spec: spec, Nodes: nodes, Repeats: 1, Seed: cfg.seed(),
-		})
-		if err != nil {
-			return res, err
-		}
-		jp := core.ProfileRun(out, core.DefaultSamplingInterval)
-		res.Jobs = append(res.Jobs, ExtFJob{
-			Name:      fmt.Sprintf("%s@%d", spec.Name, nodes),
-			TrueClass: "milc",
-			Features:  signatureFeatures(jp),
+	var tasks []func() (ExtFJob, error)
+	for _, b := range benches {
+		b := b
+		tasks = append(tasks, func() (ExtFJob, error) {
+			jp, err := measure(b, 1, cfg.repeats(), 0, cfg.seed())
+			if err != nil {
+				return ExtFJob{}, err
+			}
+			return ExtFJob{
+				Name:      b.Name,
+				TrueClass: sched.Classify(b.Method).String(),
+				Features:  signatureFeatures(jp),
+			}, nil
 		})
 	}
+	// Silicon synthetics widen each class's membership.
+	for _, atoms := range []int{128, 512} {
+		for _, kind := range kindsForExtF(cfg) {
+			atoms, kind := atoms, kind
+			tasks = append(tasks, func() (ExtFJob, error) {
+				b, err := workloads.SiliconBenchmark(atoms, kind)
+				if err != nil {
+					return ExtFJob{}, err
+				}
+				jp, err := measure(b, 1, 1, 0, cfg.seed())
+				if err != nil {
+					return ExtFJob{}, err
+				}
+				return ExtFJob{
+					Name:      "syn:" + b.Name,
+					TrueClass: sched.Classify(kind).String(),
+					Features:  signatureFeatures(jp),
+				}, nil
+			})
+		}
+	}
+	// MILC: a fourth class the scheduler has never profiled.
+	for _, nodes := range []int{1, 2} {
+		nodes := nodes
+		tasks = append(tasks, func() (ExtFJob, error) {
+			out, err := workloads.RunMILC(workloads.MILCRunSpec{
+				Spec: spec, Nodes: nodes, Repeats: 1, Seed: cfg.seed(),
+			})
+			if err != nil {
+				return ExtFJob{}, err
+			}
+			jp := core.ProfileRun(out, core.DefaultSamplingInterval)
+			return ExtFJob{
+				Name:      fmt.Sprintf("%s@%d", spec.Name, nodes),
+				TrueClass: "milc",
+				Features:  signatureFeatures(jp),
+			}, nil
+		})
+	}
+	jobs := make([]ExtFJob, len(tasks))
+	if err := par.ForEach(context.Background(), cfg.workers(), len(tasks),
+		func(_ context.Context, i int) error {
+			j, err := tasks[i]()
+			if err != nil {
+				return err
+			}
+			jobs[i] = j
+			return nil
+		}); err != nil {
+		return res, err
+	}
+	res.Jobs = jobs
 
 	points := make([][]float64, len(res.Jobs))
 	labels := make([]string, len(res.Jobs))

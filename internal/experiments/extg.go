@@ -1,10 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"vasppower/internal/artifact"
+	"vasppower/internal/core"
+	"vasppower/internal/par"
 	"vasppower/internal/report"
 	"vasppower/internal/workloads"
 )
@@ -57,12 +60,21 @@ func RunExtG(cfg Config) (ExtGResult, error) {
 			benches = append(benches, b)
 		}
 	}
+	profiles := make([]core.JobProfile, len(benches))
+	if err := par.ForEach(context.Background(), cfg.workers(), len(benches),
+		func(_ context.Context, i int) error {
+			jp, err := measure(benches[i], 1, cfg.repeats(), 0, cfg.seed())
+			if err != nil {
+				return err
+			}
+			profiles[i] = jp
+			return nil
+		}); err != nil {
+		return res, err
+	}
 	counts := map[string]int{}
-	for _, b := range benches {
-		jp, err := measure(b, 1, cfg.repeats(), 0, cfg.seed())
-		if err != nil {
-			return res, err
-		}
+	for bi, b := range benches {
+		jp := profiles[bi]
 		samples := jp.NodeTotal.Series.Values
 		if len(samples) == 0 {
 			continue

@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"vasppower/internal/core"
+	"vasppower/internal/par"
 	"vasppower/internal/report"
 	"vasppower/internal/workloads"
 )
@@ -44,23 +47,57 @@ func RunCapStudy(cfg Config) (CapStudyResult, error) {
 			benches = append(benches, b)
 		}
 	}
-	for _, b := range benches {
-		nodes := b.OptimalNodes
-		if cfg.Quick {
-			nodes = 1
-		}
-		res.Nodes[b.Name] = nodes
-		base, err := measure(b, nodes, cfg.repeats(), 0, cfg.seed())
-		if err != nil {
-			return res, err
-		}
-		for _, cap := range res.Caps {
-			jp := base
+	// Per benchmark: slot 0 is the uncapped baseline, slot 1+ci is
+	// Caps[ci] (measured only when the cap binds; 400 W is the default
+	// limit and reuses the baseline).
+	type cell struct {
+		jp  core.JobProfile
+		err error
+	}
+	stride := 1 + len(res.Caps)
+	cells := make([]cell, len(benches)*stride)
+	need := make([]bool, len(cells))
+	for bi := range benches {
+		need[bi*stride] = true
+		for ci, cap := range res.Caps {
 			if cap < 400 {
-				jp, err = measure(b, nodes, cfg.repeats(), cap, cfg.seed())
-				if err != nil {
-					return res, err
+				need[bi*stride+1+ci] = true
+			}
+		}
+	}
+	benchNodes := func(b workloads.Benchmark) int {
+		if cfg.Quick {
+			return 1
+		}
+		return b.OptimalNodes
+	}
+	par.ForEach(context.Background(), cfg.workers(), len(cells),
+		func(_ context.Context, i int) error {
+			if !need[i] {
+				return nil
+			}
+			b := benches[i/stride]
+			capW := 0.0
+			if r := i % stride; r > 0 {
+				capW = res.Caps[r-1]
+			}
+			cells[i].jp, cells[i].err = measure(b, benchNodes(b), cfg.repeats(), capW, cfg.seed())
+			return cells[i].err
+		})
+	for bi, b := range benches {
+		res.Nodes[b.Name] = benchNodes(b)
+		base := cells[bi*stride]
+		if base.err != nil {
+			return res, base.err
+		}
+		for ci, cap := range res.Caps {
+			jp := base.jp
+			if cap < 400 {
+				c := cells[bi*stride+1+ci]
+				if c.err != nil {
+					return res, c.err
 				}
+				jp = c.jp
 			}
 			pt := CapPoint{
 				CapW:    cap,
@@ -68,7 +105,7 @@ func RunCapStudy(cfg Config) (CapStudyResult, error) {
 				GPUMode: gpuMode(jp),
 			}
 			if jp.Runtime > 0 {
-				pt.RelPerf = base.Runtime / jp.Runtime
+				pt.RelPerf = base.jp.Runtime / jp.Runtime
 			}
 			if cap > 0 {
 				pt.ModeOverCap = pt.GPUMode / cap

@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"vasppower/internal/core"
+	"vasppower/internal/par"
 	"vasppower/internal/report"
 	"vasppower/internal/workloads"
 )
@@ -36,21 +39,52 @@ func RunFig13(cfg Config) (Fig13Result, error) {
 		RelPerf: map[int][]float64{},
 		Counts:  counts,
 	}
-	for _, n := range counts {
-		base, err := measure(bench, n, cfg.repeats(), 0, cfg.seed())
-		if err != nil {
-			return res, err
+	// Per node count: slot 0 is the uncapped baseline, slot 1+ci is
+	// Caps[ci] when it binds (< 400 W).
+	type cell struct {
+		jp  core.JobProfile
+		err error
+	}
+	stride := 1 + len(res.Caps)
+	cells := make([]cell, len(counts)*stride)
+	need := make([]bool, len(cells))
+	for ni := range counts {
+		need[ni*stride] = true
+		for ci, cap := range res.Caps {
+			if cap < 400 {
+				need[ni*stride+1+ci] = true
+			}
+		}
+	}
+	par.ForEach(context.Background(), cfg.workers(), len(cells),
+		func(_ context.Context, i int) error {
+			if !need[i] {
+				return nil
+			}
+			n := counts[i/stride]
+			capW := 0.0
+			if r := i % stride; r > 0 {
+				capW = res.Caps[r-1]
+			}
+			cells[i].jp, cells[i].err = measure(bench, n, cfg.repeats(), capW, cfg.seed())
+			return cells[i].err
+		})
+	for ni, n := range counts {
+		base := cells[ni*stride]
+		if base.err != nil {
+			return res, base.err
 		}
 		var rels []float64
-		for _, cap := range res.Caps {
-			jp := base
+		for ci, cap := range res.Caps {
+			jp := base.jp
 			if cap < 400 {
-				jp, err = measure(bench, n, cfg.repeats(), cap, cfg.seed())
-				if err != nil {
-					return res, err
+				c := cells[ni*stride+1+ci]
+				if c.err != nil {
+					return res, c.err
 				}
+				jp = c.jp
 			}
-			rels = append(rels, base.Runtime/jp.Runtime)
+			rels = append(rels, base.jp.Runtime/jp.Runtime)
 		}
 		res.RelPerf[n] = rels
 	}

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"vasppower/internal/core"
+	"vasppower/internal/par"
 	"vasppower/internal/report"
 	"vasppower/internal/stats"
 	"vasppower/internal/workloads"
@@ -39,23 +41,31 @@ func RunFig3(cfg Config) (Fig3Result, error) {
 	if cfg.Quick {
 		names = []string{"GaAsBi-64", "Si128_acfdtr"}
 	}
-	for _, name := range names {
-		b, ok := workloads.ByName(name)
-		if !ok {
-			return res, fmt.Errorf("experiments: unknown benchmark %s", name)
-		}
-		jp, err := measure(b, 1, cfg.repeats(), 0, cfg.seed())
-		if err != nil {
-			return res, err
-		}
-		e := Fig3Entry{Bench: name, Profile: jp}
-		e.Max = jp.NodeTotal.Summary.Max
-		e.Median = jp.NodeTotal.Summary.Median
-		e.Min = jp.NodeTotal.Summary.Min
-		e.HighMode = highMode(jp)
-		e.MultiModal = len(jp.NodeTotal.Modes) >= 2
-		res.Entries = append(res.Entries, e)
+	entries := make([]Fig3Entry, len(names))
+	err := par.ForEach(context.Background(), cfg.workers(), len(names),
+		func(_ context.Context, i int) error {
+			name := names[i]
+			b, ok := workloads.ByName(name)
+			if !ok {
+				return fmt.Errorf("experiments: unknown benchmark %s", name)
+			}
+			jp, err := measure(b, 1, cfg.repeats(), 0, cfg.seed())
+			if err != nil {
+				return err
+			}
+			e := Fig3Entry{Bench: name, Profile: jp}
+			e.Max = jp.NodeTotal.Summary.Max
+			e.Median = jp.NodeTotal.Summary.Median
+			e.Min = jp.NodeTotal.Summary.Min
+			e.HighMode = highMode(jp)
+			e.MultiModal = len(jp.NodeTotal.Modes) >= 2
+			entries[i] = e
+			return nil
+		})
+	if err != nil {
+		return res, err
 	}
+	res.Entries = entries
 	return res, nil
 }
 

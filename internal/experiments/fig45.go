@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"vasppower/internal/core"
+	"vasppower/internal/par"
 	"vasppower/internal/report"
 	"vasppower/internal/workloads"
 )
@@ -46,16 +49,32 @@ func RunScaling(cfg Config) (ScalingResult, error) {
 			benches = append(benches, b)
 		}
 	}
-	for _, b := range benches {
+	// Fan the whole (benchmark × node count) grid through the pool.
+	// A measurement error is benign here — some benchmarks cannot
+	// scale to every node count (too few bands) and their series just
+	// stops there, as a user's would — so fn never fails; per-cell
+	// errors land in the grid and ordered assembly truncates each
+	// series exactly where the serial loop did.
+	type cell struct {
+		jp  core.JobProfile
+		err error
+	}
+	cells := make([]cell, len(benches)*len(res.Counts))
+	par.ForEach(context.Background(), cfg.workers(), len(cells),
+		func(_ context.Context, i int) error {
+			b := benches[i/len(res.Counts)]
+			n := res.Counts[i%len(res.Counts)]
+			cells[i].jp, cells[i].err = measure(b, n, cfg.repeats(), 0, cfg.seed())
+			return nil
+		})
+	for bi, b := range benches {
 		var base float64
-		for _, n := range res.Counts {
-			jp, err := measure(b, n, cfg.repeats(), 0, cfg.seed())
-			if err != nil {
-				// Some benchmarks cannot scale to every node count
-				// (too few bands); stop the series there, as a user
-				// would.
+		for ci, n := range res.Counts {
+			c := cells[bi*len(res.Counts)+ci]
+			if c.err != nil {
 				break
 			}
+			jp := c.jp
 			if n == res.Counts[0] {
 				base = jp.Runtime * float64(res.Counts[0])
 			}

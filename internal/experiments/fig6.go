@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"vasppower/internal/dft/method"
+	"vasppower/internal/par"
 	"vasppower/internal/report"
 	"vasppower/internal/workloads"
 )
@@ -42,31 +44,39 @@ func fig6Sizes(cfg Config) []int {
 // RunFig6 sweeps the supercell family.
 func RunFig6(cfg Config) (Fig6Result, error) {
 	res := Fig6Result{NodeTDP: 2350, GPUTDPSum: 1600}
-	for _, atoms := range fig6Sizes(cfg) {
-		b, err := workloads.SiliconBenchmark(atoms, method.DFTBD)
-		if err != nil {
-			return res, err
-		}
-		jp, err := measure(b, 1, cfg.repeats(), 0, cfg.seed())
-		if err != nil {
-			return res, err
-		}
-		pt := Fig6Point{
-			Atoms:   atoms,
-			NPLWV:   b.NPLWV(),
-			NBands:  b.NBands,
-			Runtime: jp.Runtime,
-		}
-		if jp.NodeTotal.HasMode {
-			pt.NodeMode = jp.NodeTotal.HighMode.X
-			pt.NodeFWHM = jp.NodeTotal.HighMode.FWHM
-		}
-		if jp.GPUSum.HasMode {
-			pt.GPUSumMode = jp.GPUSum.HighMode.X
-			pt.GPUSumFWHM = jp.GPUSum.HighMode.FWHM
-		}
-		res.Points = append(res.Points, pt)
+	sizes := fig6Sizes(cfg)
+	pts := make([]Fig6Point, len(sizes))
+	err := par.ForEach(context.Background(), cfg.workers(), len(sizes),
+		func(_ context.Context, i int) error {
+			b, err := workloads.SiliconBenchmark(sizes[i], method.DFTBD)
+			if err != nil {
+				return err
+			}
+			jp, err := measure(b, 1, cfg.repeats(), 0, cfg.seed())
+			if err != nil {
+				return err
+			}
+			pt := Fig6Point{
+				Atoms:   sizes[i],
+				NPLWV:   b.NPLWV(),
+				NBands:  b.NBands,
+				Runtime: jp.Runtime,
+			}
+			if jp.NodeTotal.HasMode {
+				pt.NodeMode = jp.NodeTotal.HighMode.X
+				pt.NodeFWHM = jp.NodeTotal.HighMode.FWHM
+			}
+			if jp.GPUSum.HasMode {
+				pt.GPUSumMode = jp.GPUSum.HighMode.X
+				pt.GPUSumFWHM = jp.GPUSum.HighMode.FWHM
+			}
+			pts[i] = pt
+			return nil
+		})
+	if err != nil {
+		return res, err
 	}
+	res.Points = pts
 	return res, nil
 }
 

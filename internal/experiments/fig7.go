@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"vasppower/internal/par"
 	"vasppower/internal/report"
 	"vasppower/internal/workloads"
 )
@@ -46,34 +48,40 @@ func RunFig7(cfg Config) (Fig7Result, error) {
 		bandCounts = []int{base.NBands, base.NBands * 8 / 5}
 	}
 
+	// Both sweeps are one flat list of independent variants.
+	variants := make([]workloads.Benchmark, 0, len(grids)+len(bandCounts))
 	for _, g := range grids {
 		b := base
 		b.FFTGrid = g
 		b.Name = fmt.Sprintf("%s_nplwv%d", base.Name, b.NPLWV())
-		jp, err := measure(b, 1, cfg.repeats(), 0, cfg.seed())
-		if err != nil {
-			return res, err
-		}
-		res.NPLWVSweep = append(res.NPLWVSweep, Fig7Point{
-			NPLWV: b.NPLWV(), NBands: b.NBands,
-			NodeMode: highMode(jp), NodeMean: jp.NodeTotal.Summary.Mean,
-			EnergyMJ: jp.EnergyJ / 1e6, Runtime: jp.Runtime,
-		})
+		variants = append(variants, b)
 	}
 	for _, nb := range bandCounts {
 		b := base
 		b.NBands = nb
 		b.Name = fmt.Sprintf("%s_nb%d", base.Name, nb)
-		jp, err := measure(b, 1, cfg.repeats(), 0, cfg.seed())
-		if err != nil {
-			return res, err
-		}
-		res.NBandsSweep = append(res.NBandsSweep, Fig7Point{
-			NPLWV: b.NPLWV(), NBands: nb,
-			NodeMode: highMode(jp), NodeMean: jp.NodeTotal.Summary.Mean,
-			EnergyMJ: jp.EnergyJ / 1e6, Runtime: jp.Runtime,
-		})
+		variants = append(variants, b)
 	}
+	pts := make([]Fig7Point, len(variants))
+	err := par.ForEach(context.Background(), cfg.workers(), len(variants),
+		func(_ context.Context, i int) error {
+			b := variants[i]
+			jp, err := measure(b, 1, cfg.repeats(), 0, cfg.seed())
+			if err != nil {
+				return err
+			}
+			pts[i] = Fig7Point{
+				NPLWV: b.NPLWV(), NBands: b.NBands,
+				NodeMode: highMode(jp), NodeMean: jp.NodeTotal.Summary.Mean,
+				EnergyMJ: jp.EnergyJ / 1e6, Runtime: jp.Runtime,
+			}
+			return nil
+		})
+	if err != nil {
+		return res, err
+	}
+	res.NPLWVSweep = pts[:len(grids)]
+	res.NBandsSweep = pts[len(grids):]
 	return res, nil
 }
 

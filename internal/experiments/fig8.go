@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"vasppower/internal/core"
+	"vasppower/internal/par"
 	"vasppower/internal/report"
 	"vasppower/internal/workloads"
 )
@@ -37,12 +40,25 @@ func RunFig8(cfg Config) (Fig8Result, error) {
 		counts = []int{1, 2, 4}
 	}
 	res := Fig8Result{Bench: bench.Name}
+	// Per-count errors are benign (the series stops at the count that
+	// cannot run), so fn never fails; assembly below truncates exactly
+	// where the serial sweep did.
+	type cell struct {
+		jp  core.JobProfile
+		err error
+	}
+	cells := make([]cell, len(counts))
+	par.ForEach(context.Background(), cfg.workers(), len(counts),
+		func(_ context.Context, i int) error {
+			cells[i].jp, cells[i].err = measure(bench, counts[i], cfg.repeats(), 0, cfg.seed())
+			return nil
+		})
 	var baseRuntime float64
 	for i, n := range counts {
-		jp, err := measure(bench, n, cfg.repeats(), 0, cfg.seed())
-		if err != nil {
+		if cells[i].err != nil {
 			break
 		}
+		jp := cells[i].jp
 		if i == 0 {
 			baseRuntime = jp.Runtime * float64(counts[0])
 		}

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"vasppower/internal/dft/method"
+	"vasppower/internal/par"
 	"vasppower/internal/report"
 	"vasppower/internal/stats"
 	"vasppower/internal/workloads"
@@ -36,24 +38,31 @@ func RunFig9(cfg Config) (Fig9Result, error) {
 		res.Sizes = []int{128}
 		kinds = []method.Kind{method.DFTRMM, method.HSE, method.ACFDTR}
 	}
-	for _, atoms := range res.Sizes {
-		for _, k := range kinds {
+	entries := make([]Fig9Entry, len(res.Sizes)*len(kinds))
+	err := par.ForEach(context.Background(), cfg.workers(), len(entries),
+		func(_ context.Context, i int) error {
+			atoms := res.Sizes[i/len(kinds)]
+			k := kinds[i%len(kinds)]
 			b, err := workloads.SiliconBenchmark(atoms, k)
 			if err != nil {
-				return res, err
+				return err
 			}
 			jp, err := measure(b, 1, cfg.repeats(), 0, cfg.seed())
 			if err != nil {
-				return res, err
+				return err
 			}
 			v := stats.NewViolin(fmt.Sprintf("%s/Si%d", k, atoms), jp.NodeTotal.Series.Values)
 			e := Fig9Entry{Method: k.String(), Atoms: atoms, Violin: v}
 			if hm, ok := v.HighPowerMode(); ok {
 				e.HighMode = hm.X
 			}
-			res.Entries = append(res.Entries, e)
-		}
+			entries[i] = e
+			return nil
+		})
+	if err != nil {
+		return res, err
 	}
+	res.Entries = entries
 	return res, nil
 }
 

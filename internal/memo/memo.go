@@ -1,0 +1,139 @@
+// Package memo provides a sharded, singleflight-deduplicated
+// memoization cache. It replaces the single-mutex measurement map the
+// experiment runners used to share: under the parallel measurement
+// engine many goroutines miss on the same key at once, and without
+// deduplication each of them would redo the same (expensive)
+// simulation — or serialize on one global lock while doing so.
+//
+// Keys are strings; values are computed at most once per key while the
+// computation's result remains cached. Shards keep unrelated keys from
+// contending on one mutex; the per-key in-flight entry makes
+// concurrent misses on the *same* key compute once, with every waiter
+// receiving the single result.
+package memo
+
+import (
+	"context"
+	"hash/fnv"
+	"sync"
+)
+
+// shardCount bounds lock contention. Power of two, sized well above
+// any plausible worker count.
+const shardCount = 32
+
+// Cache is a sharded singleflight memoization cache. The zero value is
+// not usable; call New.
+type Cache[V any] struct {
+	shards [shardCount]shard[V]
+}
+
+type shard[V any] struct {
+	mu      sync.Mutex
+	entries map[string]*entry[V]
+}
+
+// entry is one key's slot. done is closed exactly once, after val/err
+// are set; waiters read them only after observing the close.
+type entry[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// New returns an empty cache.
+func New[V any]() *Cache[V] {
+	c := &Cache[V]{}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]*entry[V])
+	}
+	return c
+}
+
+func (c *Cache[V]) shard(key string) *shard[V] {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &c.shards[h.Sum32()%shardCount]
+}
+
+// Do returns the cached value for key, computing it with compute on
+// the first call. Concurrent calls for the same key share one
+// computation: exactly one caller runs compute, the rest block until
+// it finishes (or their context is canceled) and receive the same
+// result. Failed computations are not cached — the error is delivered
+// to every caller of that flight, and the next call retries — matching
+// the retry semantics of the serial cache this replaces.
+func (c *Cache[V]) Do(ctx context.Context, key string, compute func() (V, error)) (V, error) {
+	s := c.shard(key)
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		s.mu.Unlock()
+		select {
+		case <-e.done:
+			return e.val, e.err
+		case <-ctx.Done():
+			var zero V
+			return zero, ctx.Err()
+		}
+	}
+	e := &entry[V]{done: make(chan struct{})}
+	s.entries[key] = e
+	s.mu.Unlock()
+
+	e.val, e.err = compute()
+	if e.err != nil {
+		s.mu.Lock()
+		// Only evict our own entry: a concurrent Reset may have already
+		// replaced the map (or a later flight may occupy the slot).
+		if cur, ok := s.entries[key]; ok && cur == e {
+			delete(s.entries, key)
+		}
+		s.mu.Unlock()
+	}
+	close(e.done)
+	return e.val, e.err
+}
+
+// Get returns the cached value for key without computing, and whether
+// a completed value was present.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	s.mu.Unlock()
+	if !ok {
+		return *new(V), false
+	}
+	select {
+	case <-e.done:
+		if e.err != nil {
+			return *new(V), false
+		}
+		return e.val, true
+	default: // still computing
+		return *new(V), false
+	}
+}
+
+// Len returns the number of cached (or in-flight) keys.
+func (c *Cache[V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Reset drops every cached entry. In-flight computations complete and
+// deliver their result to waiters but are not re-cached.
+func (c *Cache[V]) Reset() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.entries = make(map[string]*entry[V])
+		s.mu.Unlock()
+	}
+}

@@ -1,0 +1,100 @@
+// Package par provides the bounded worker-pool primitive behind the
+// parallel measurement engine: deterministic fan-out of independent,
+// index-addressed work items with first-error cancellation.
+//
+// The engine's contract is that parallel execution is an *optimization
+// only*: every work item derives its randomness from labels and seeds,
+// never from execution order, and callers assemble results by index.
+// ForEach therefore produces identical outcomes for every worker
+// count; workers == 1 runs the items serially on the calling
+// goroutine, which is exactly the pre-engine behavior.
+package par
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a configured worker count: values <= 0 mean "one
+// worker per available CPU" (runtime.GOMAXPROCS(0)).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach invokes fn(ctx, i) for every i in [0, n), running at most
+// `workers` invocations concurrently (workers <= 1 runs serially in
+// index order). The first error cancels the shared context; items
+// that have not started when the cancellation lands are skipped.
+// ForEach returns after all in-flight items finish, reporting the
+// lowest-index error among the items that ran. When exactly one item
+// can fail (the usual case: errors here are deterministic functions
+// of the item), that is the same error the serial loop stops at;
+// callers that need every item's error regardless of scheduling store
+// per-index errors and return nil from fn.
+func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next    atomic.Int64 // next item index to claim
+		mu      sync.Mutex
+		errIdx  = n // lowest failing index seen so far
+		firstEr error
+		wg      sync.WaitGroup
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		if i < errIdx {
+			errIdx, firstEr = i, err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if ctx.Err() != nil {
+					return
+				}
+				if err := fn(ctx, i); err != nil {
+					record(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstEr != nil {
+		return firstEr
+	}
+	return ctx.Err()
+}

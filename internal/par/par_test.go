@@ -1,0 +1,107 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(4); got != 4 {
+		t.Fatalf("Workers(4) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestForEachCoversAllItems(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		n := 50
+		seen := make([]int32, n)
+		err := ForEach(context.Background(), workers, n, func(_ context.Context, i int) error {
+			atomic.AddInt32(&seen[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachSerialStopsAtFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran []int
+	err := ForEach(context.Background(), 1, 10, func(_ context.Context, i int) error {
+		ran = append(ran, i)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(ran) != 4 {
+		t.Fatalf("serial run did not stop at the failing item: ran %v", ran)
+	}
+}
+
+func TestForEachParallelCancelsOnError(t *testing.T) {
+	boom := errors.New("boom")
+	var started atomic.Int32
+	err := ForEach(context.Background(), 4, 1000, func(_ context.Context, i int) error {
+		started.Add(1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := started.Load(); n == 1000 {
+		t.Fatal("cancellation did not skip any pending items")
+	}
+}
+
+func TestForEachLowestIndexErrorWins(t *testing.T) {
+	// Every item fails; the reported error must come from an item that
+	// actually ran, and among those the lowest index.
+	err := ForEach(context.Background(), 8, 64, func(_ context.Context, i int) error {
+		return fmt.Errorf("item %d", i)
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+}
+
+func TestForEachHonorsParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := ForEach(ctx, 1, 5, func(context.Context, int) error { calls++; return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 0 {
+		t.Fatalf("ran %d items under a canceled context", calls)
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	if err := ForEach(context.Background(), 4, 0, nil); err != nil {
+		t.Fatalf("n=0: %v", err)
+	}
+}

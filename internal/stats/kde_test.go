@@ -231,10 +231,51 @@ func TestHighPowerModeStableUnderDownsampling(t *testing.T) {
 	}
 }
 
+// The truncated kernel must agree with the untruncated O(n·gridN)
+// evaluation to far better than any downstream tolerance.
+func TestKDETruncationMatchesFullKernel(t *testing.T) {
+	xs := normalSample(12, 2000, 500, 40)
+	k := NewKDE(xs, 0, 256)
+	h := k.Bandwidth
+	invH := 1 / h
+	norm := 1 / (float64(len(xs)) * h * math.Sqrt(2*math.Pi))
+	var maxDen float64
+	for _, d := range k.Density {
+		if d > maxDen {
+			maxDen = d
+		}
+	}
+	for i, x := range k.Xs {
+		var full float64
+		for _, xi := range xs {
+			u := (x - xi) * invH
+			full += math.Exp(-0.5 * u * u)
+		}
+		full *= norm
+		if diff := math.Abs(k.Density[i] - full); diff > 1e-3*maxDen {
+			t.Fatalf("grid %d (x=%v): truncated %v vs full %v (diff %v)",
+				i, x, k.Density[i], full, diff)
+		}
+	}
+}
+
 func BenchmarkKDE(b *testing.B) {
-	xs := normalSample(1, 5000, 1000, 100)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		NewKDE(xs, 0, 512)
+	for _, bc := range []struct {
+		name  string
+		n     int
+		gridN int
+	}{
+		{"n1000_grid512", 1000, 512},
+		{"n5000_grid512", 5000, 512},
+		{"n20000_grid512", 20000, 512},
+		{"n5000_grid1024", 5000, 1024},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			xs := normalSample(1, bc.n, 1000, 100)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				NewKDE(xs, 0, bc.gridN)
+			}
+		})
 	}
 }

@@ -149,6 +149,8 @@ type MILCRunSpec struct {
 	GPUClockLimitMHz float64
 	Repeats          int
 	Seed             uint64
+	// Workers bounds concurrent repeats, as in RunSpec.
+	Workers int
 }
 
 // RunMILC executes a MILC measurement run with the same protocol as
@@ -174,61 +176,48 @@ func RunMILC(spec MILCRunSpec) (RunOutput, error) {
 	sched := milcSchedule(spec.Spec, d)
 
 	root := rng.New(spec.Seed)
-	pool := cluster.New(spec.Nodes, spec.Seed)
-	nodes, err := pool.Allocate(spec.Nodes)
-	if err != nil {
-		return RunOutput{}, err
+	noises := make([]*rng.Stream, repeats)
+	for r := range noises {
+		noises[r] = repeatNoise(root, r)
 	}
-	if spec.GPUPowerLimit > 0 {
-		for _, n := range nodes {
-			if err := n.SetGPUPowerLimits(spec.GPUPowerLimit); err != nil {
-				return RunOutput{}, err
+
+	exec := func(r int) (repeatRun, error) {
+		pool := cluster.New(spec.Nodes, spec.Seed)
+		nodes, err := pool.Allocate(spec.Nodes)
+		if err != nil {
+			return repeatRun{}, err
+		}
+		if spec.GPUPowerLimit > 0 {
+			for _, n := range nodes {
+				if err := n.SetGPUPowerLimits(spec.GPUPowerLimit); err != nil {
+					return repeatRun{}, err
+				}
 			}
 		}
-	}
-	if spec.GPUClockLimitMHz > 0 {
-		for _, n := range nodes {
-			if err := n.SetGPUClockLimits(spec.GPUClockLimitMHz); err != nil {
-				return RunOutput{}, err
+		if spec.GPUClockLimitMHz > 0 {
+			for _, n := range nodes {
+				if err := n.SetGPUClockLimits(spec.GPUClockLimitMHz); err != nil {
+					return repeatRun{}, err
+				}
 			}
 		}
-	}
-	job := solver.Job{
-		Name:     spec.Spec.Name,
-		Schedule: sched,
-		Nodes:    nodes,
-		Decomp:   d,
-		Fabric:   interconnect.Slingshot(),
-		Noise:    root.Split("noise"),
-	}
-	out := RunOutput{Nodes: nodes, PhaseWindows: map[string][2]float64{}}
-	type window struct{ start, end float64 }
-	var windows []window
-	var results []solver.Result
-	for r := 0; r < repeats; r++ {
-		start := nodes[0].TraceDuration()
+		job := solver.Job{
+			Name:     spec.Spec.Name,
+			Schedule: sched,
+			Nodes:    nodes,
+			Decomp:   d,
+			Fabric:   interconnect.Slingshot(),
+			Noise:    noises[r],
+		}
+		run := repeatRun{nodes: nodes, phases: map[string][2]float64{}}
+		run.start = nodes[0].TraceDuration()
 		res, err := solver.Run(job)
 		if err != nil {
-			return RunOutput{}, err
+			return repeatRun{}, err
 		}
-		windows = append(windows, window{start, nodes[0].TraceDuration()})
-		results = append(results, res)
-		out.Runtimes = append(out.Runtimes, res.Runtime)
-		if r != repeats-1 {
-			for _, n := range nodes {
-				n.RecordIdle(interRepeatGap)
-			}
-		}
+		run.end = nodes[0].TraceDuration()
+		run.result = res
+		return run, nil
 	}
-	out.Best = 0
-	for i, rt := range out.Runtimes {
-		if rt < out.Runtimes[out.Best] {
-			out.Best = i
-		}
-	}
-	out.BestResult = results[out.Best]
-	out.VASPStart = windows[out.Best].start
-	out.VASPEnd = windows[out.Best].end
-	out.PhaseWindows["vasp"] = [2]float64{out.VASPStart, out.VASPEnd}
-	return out, nil
+	return runRepeats(repeats, spec.Workers, exec)
 }

@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"context"
 	"fmt"
 
 	"vasppower/internal/cluster"
@@ -9,6 +10,7 @@ import (
 	"vasppower/internal/hw/gpu"
 	"vasppower/internal/hw/node"
 	"vasppower/internal/interconnect"
+	"vasppower/internal/par"
 	"vasppower/internal/rng"
 )
 
@@ -32,11 +34,19 @@ type RunSpec struct {
 	Prelude bool
 	// Seed drives node variability and run-to-run noise.
 	Seed uint64
+	// Workers bounds how many repeats run concurrently (0 = one per
+	// available CPU, 1 = serial). Every repeat draws its noise from a
+	// label-split of Seed and runs on its own identically-seeded node
+	// allocation, so results are independent of the worker count.
+	Workers int
 }
 
 // RunOutput is the result of a measurement run.
 type RunOutput struct {
-	// Nodes carry the full recorded traces (prelude + all repeats).
+	// Nodes carry the full recorded traces of the selected repeat
+	// (prelude + VASP). Each repeat runs on its own allocation of the
+	// same simulated hardware, like resubmitting a job script with the
+	// same node list.
 	Nodes []*node.Node
 	// Runtimes per repeat; Best indexes the minimum.
 	Runtimes []float64
@@ -52,15 +62,72 @@ type RunOutput struct {
 	PhaseWindows map[string][2]float64
 }
 
-// interRepeatGap is the idle time between repeats, seconds.
-const interRepeatGap = 3.0
-
 // Durations of the prelude phases, seconds.
 const (
 	dgemmSeconds  = 20.0
 	streamSeconds = 20.0
 	idleSeconds   = 10.0
 )
+
+// repeatRun is one repeat's self-contained execution: its own node
+// allocation and traces, its solver result, and the VASP window within
+// those traces.
+type repeatRun struct {
+	nodes      []*node.Node
+	result     solver.Result
+	start, end float64
+	phases     map[string][2]float64
+}
+
+// repeatNoise derives the run-to-run noise stream for repeat r.
+// Repeat 0 keeps the historical "noise" label, so single-repeat runs
+// (every cached measurement in the experiment harness) are
+// bit-identical to the pre-parallel engine; later repeats get their
+// own labeled streams instead of continuing repeat 0's, which is what
+// makes repeats order-independent.
+func repeatNoise(root *rng.Stream, r int) *rng.Stream {
+	if r == 0 {
+		return root.Split("noise")
+	}
+	return root.Split(fmt.Sprintf("noise/repeat%d", r))
+}
+
+// runRepeats executes `repeats` independent repeats through a bounded
+// worker pool and assembles the protocol output: results land by
+// repeat index (never completion order) and the minimum-runtime
+// repeat is selected, per §III-B.
+func runRepeats(repeats, workers int, exec func(r int) (repeatRun, error)) (RunOutput, error) {
+	runs := make([]repeatRun, repeats)
+	err := par.ForEach(context.Background(), par.Workers(workers), repeats,
+		func(_ context.Context, r int) error {
+			run, err := exec(r)
+			if err != nil {
+				return err
+			}
+			runs[r] = run
+			return nil
+		})
+	if err != nil {
+		return RunOutput{}, err
+	}
+	out := RunOutput{PhaseWindows: map[string][2]float64{}}
+	for r := range runs {
+		out.Runtimes = append(out.Runtimes, runs[r].result.Runtime)
+		if out.Runtimes[r] < out.Runtimes[out.Best] {
+			out.Best = r
+		}
+	}
+	best := runs[out.Best]
+	out.Nodes = best.nodes
+	out.BestResult = best.result
+	out.VASPStart = best.start
+	out.VASPEnd = best.end
+	for name, w := range best.phases {
+		out.PhaseWindows[name] = w
+	}
+	out.PhaseWindows["vasp"] = [2]float64{best.start, best.end}
+	return out, nil
+}
 
 // Run executes the spec and returns traces plus the selected repeat.
 func Run(spec RunSpec) (RunOutput, error) {
@@ -83,94 +150,82 @@ func Run(spec RunSpec) (RunOutput, error) {
 		return RunOutput{}, err
 	}
 
+	// Derive every repeat's noise stream up front, in index order, from
+	// the one root — execution order can then never influence a draw.
 	root := rng.New(spec.Seed)
-	// Allocate from a cluster pool: node identity (and with it the
-	// manufacturing variability) is owned by the cluster, exactly as
-	// the batch system hands out nodes on the real machine.
-	pool := cluster.New(spec.Nodes, spec.Seed)
-	nodes, err := pool.Allocate(spec.Nodes)
-	if err != nil {
-		return RunOutput{}, err
-	}
-	if spec.GPUPowerLimit > 0 {
-		for _, n := range nodes {
-			if err := n.SetGPUPowerLimits(spec.GPUPowerLimit); err != nil {
-				return RunOutput{}, err
-			}
-		}
-	}
-	if spec.GPUClockLimitMHz > 0 {
-		for _, n := range nodes {
-			if err := n.SetGPUClockLimits(spec.GPUClockLimitMHz); err != nil {
-				return RunOutput{}, err
-			}
-		}
+	noises := make([]*rng.Stream, repeats)
+	for r := range noises {
+		noises[r] = repeatNoise(root, r)
 	}
 
-	job := solver.Job{
-		Name:     spec.Bench.Name,
-		Schedule: sched,
-		Nodes:    nodes,
-		Decomp:   cfg.Decomp,
-		Fabric:   interconnect.Slingshot(),
-		Noise:    root.Split("noise"),
-	}
-
-	out := RunOutput{Nodes: nodes, PhaseWindows: map[string][2]float64{}}
-	if spec.Prelude {
-		mark := func(name string, run func() error) error {
-			start := nodes[0].TraceDuration()
-			if err := run(); err != nil {
-				return err
-			}
-			out.PhaseWindows[name] = [2]float64{start, nodes[0].TraceDuration()}
-			return nil
+	exec := func(r int) (repeatRun, error) {
+		// Allocate from a cluster pool: node identity (and with it the
+		// manufacturing variability) is owned by the cluster, exactly as
+		// the batch system hands out nodes on the real machine. Each
+		// repeat allocates from an identically-seeded pool, so every
+		// repeat sees the same simulated hardware.
+		pool := cluster.New(spec.Nodes, spec.Seed)
+		nodes, err := pool.Allocate(spec.Nodes)
+		if err != nil {
+			return repeatRun{}, err
 		}
-		if err := mark("dgemm", func() error { return runMicro(job, DGEMMSchedule(dgemmSeconds)) }); err != nil {
-			return RunOutput{}, err
-		}
-		if err := mark("stream", func() error { return runMicro(job, StreamSchedule(streamSeconds)) }); err != nil {
-			return RunOutput{}, err
-		}
-		if err := mark("idle", func() error {
+		if spec.GPUPowerLimit > 0 {
 			for _, n := range nodes {
-				n.RecordIdle(idleSeconds)
+				if err := n.SetGPUPowerLimits(spec.GPUPowerLimit); err != nil {
+					return repeatRun{}, err
+				}
 			}
-			return nil
-		}); err != nil {
-			return RunOutput{}, err
 		}
-	}
-	type window struct{ start, end float64 }
-	var windows []window
-	var results []solver.Result
-	for r := 0; r < repeats; r++ {
-		start := nodes[0].TraceDuration()
+		if spec.GPUClockLimitMHz > 0 {
+			for _, n := range nodes {
+				if err := n.SetGPUClockLimits(spec.GPUClockLimitMHz); err != nil {
+					return repeatRun{}, err
+				}
+			}
+		}
+		job := solver.Job{
+			Name:     spec.Bench.Name,
+			Schedule: sched,
+			Nodes:    nodes,
+			Decomp:   cfg.Decomp,
+			Fabric:   interconnect.Slingshot(),
+			Noise:    noises[r],
+		}
+		run := repeatRun{nodes: nodes, phases: map[string][2]float64{}}
+		if spec.Prelude {
+			mark := func(name string, do func() error) error {
+				start := nodes[0].TraceDuration()
+				if err := do(); err != nil {
+					return err
+				}
+				run.phases[name] = [2]float64{start, nodes[0].TraceDuration()}
+				return nil
+			}
+			if err := mark("dgemm", func() error { return runMicro(job, DGEMMSchedule(dgemmSeconds)) }); err != nil {
+				return repeatRun{}, err
+			}
+			if err := mark("stream", func() error { return runMicro(job, StreamSchedule(streamSeconds)) }); err != nil {
+				return repeatRun{}, err
+			}
+			if err := mark("idle", func() error {
+				for _, n := range nodes {
+					n.RecordIdle(idleSeconds)
+				}
+				return nil
+			}); err != nil {
+				return repeatRun{}, err
+			}
+		}
+		run.start = nodes[0].TraceDuration()
 		res, err := solver.Run(job)
 		if err != nil {
-			return RunOutput{}, err
+			return repeatRun{}, err
 		}
-		end := nodes[0].TraceDuration()
-		windows = append(windows, window{start, end})
-		results = append(results, res)
-		out.Runtimes = append(out.Runtimes, res.Runtime)
-		if r != repeats-1 {
-			for _, n := range nodes {
-				n.RecordIdle(interRepeatGap)
-			}
-		}
+		run.end = nodes[0].TraceDuration()
+		run.result = res
+		return run, nil
 	}
-	out.Best = 0
-	for i, rt := range out.Runtimes {
-		if rt < out.Runtimes[out.Best] {
-			out.Best = i
-		}
-	}
-	out.BestResult = results[out.Best]
-	out.VASPStart = windows[out.Best].start
-	out.VASPEnd = windows[out.Best].end
-	out.PhaseWindows["vasp"] = [2]float64{out.VASPStart, out.VASPEnd}
-	return out, nil
+	return runRepeats(repeats, spec.Workers, exec)
 }
 
 // runMicro executes a microbenchmark schedule within the job.

@@ -103,9 +103,24 @@ func Measure(b Benchmark, nodes, repeats int, capW float64, seed uint64) (JobPro
 	return core.MeasureBenchmark(b, nodes, repeats, capW, seed)
 }
 
+// MeasureWorkers is Measure with the repeats fanned out over a worker
+// pool (workers 0 = one per CPU, 1 = serial). The profile is
+// identical for every worker count: repeats draw from seed-split
+// noise streams, never from execution order.
+func MeasureWorkers(b Benchmark, nodes, repeats int, capW float64, seed uint64, workers int) (JobProfile, error) {
+	return core.MeasureBenchmarkWorkers(b, nodes, repeats, capW, seed, workers)
+}
+
 // MeasureCapResponse measures a benchmark under each GPU power cap.
 func MeasureCapResponse(b Benchmark, nodes int, caps []float64, repeats int, seed uint64) (CapResponse, error) {
 	return core.MeasureCapResponse(b, nodes, caps, repeats, seed)
+}
+
+// MeasureCapResponseWorkers is MeasureCapResponse with the baseline
+// and cap points measured concurrently (workers 0 = one per CPU,
+// 1 = serial); the response is identical for every worker count.
+func MeasureCapResponseWorkers(b Benchmark, nodes int, caps []float64, repeats int, seed uint64, workers int) (CapResponse, error) {
+	return core.MeasureCapResponseWorkers(b, nodes, caps, repeats, seed, workers)
 }
 
 // HighPowerMode computes the paper's headline metric for a sample of
