@@ -20,7 +20,7 @@ func main() {
 		"GaAsBi-64": 766, "CuC_vdw": 950, "Si128_acfdtr": 1814,
 	}
 	for _, b := range workloads.TableI() {
-		jp, err := core.MeasureBenchmark(b, 1, 1, 0, 42)
+		jp, err := core.Measure(core.MeasureSpec{Bench: b, Nodes: 1, Seed: 42})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", b.Name, err)
 			continue
@@ -41,7 +41,8 @@ func main() {
 	fmt.Println("\n=== Cap response (targets: 300W ~0%, 200W ~9% hungry, 100W ~60% hungry / <5% GaAsBi,PdO2) ===")
 	for _, name := range []string{"Si256_hse", "Si128_acfdtr", "GaAsBi-64", "PdO2"} {
 		b, _ := workloads.ByName(name)
-		cr, err := core.MeasureCapResponse(b, b.OptimalNodes, []float64{400, 300, 200, 100}, 1, 42)
+		cr, err := core.MeasureCapResponse(core.MeasureSpec{Bench: b, Nodes: b.OptimalNodes, Seed: 42},
+			[]float64{400, 300, 200, 100})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			continue
@@ -56,9 +57,9 @@ func main() {
 
 	fmt.Println("\n=== Parallel efficiency, Si256_hse (target: >=70% to ~8-16 nodes) ===")
 	b, _ := workloads.ByName("Si256_hse")
-	base, _ := core.MeasureBenchmark(b, 1, 1, 0, 42)
+	base, _ := core.Measure(core.MeasureSpec{Bench: b, Nodes: 1, Seed: 42})
 	for _, n := range []int{2, 4, 8, 16, 32} {
-		jp, err := core.MeasureBenchmark(b, n, 1, 0, 42)
+		jp, err := core.Measure(core.MeasureSpec{Bench: b, Nodes: n, Seed: 42})
 		if err != nil {
 			fmt.Printf("  %2d nodes: %v\n", n, err)
 			continue

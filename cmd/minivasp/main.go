@@ -34,8 +34,8 @@ func main() {
 	incarPath := flag.String("incar", "", "path to an INCAR file")
 	kpointsPath := flag.String("kpoints", "", "path to a KPOINTS file (default Γ-only)")
 	siAtoms := flag.Int("si-atoms", 0, "silicon supercell size for -incar runs")
-	nodes := flag.Int("nodes", 1, "node count (4 GPUs per node)")
-	cap := flag.Float64("cap", 0, "GPU power cap in watts (0 = default 400)")
+	nodes := flag.Int("nodes", 1, "node count")
+	cap := flag.Float64("cap", 0, "GPU power cap in watts (0 = the GPU's default TDP limit)")
 	repeats := flag.Int("repeats", 1, "repeats (min-runtime selection)")
 	seed := flag.Uint64("seed", 42, "random seed")
 	flag.Parse()
@@ -77,7 +77,9 @@ func main() {
 	}
 	fmt.Println()
 
-	jp, err := vasppower.Measure(bench, *nodes, *repeats, *cap, *seed)
+	jp, err := vasppower.Measure(vasppower.MeasureSpec{
+		Bench: bench, Nodes: *nodes, Repeats: *repeats, CapW: *cap, Seed: *seed,
+	})
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -120,7 +122,7 @@ func runMILC(nodes int, cap float64, repeats int, seed uint64) {
 	fmt.Printf("energy    %.2f MJ\n", out.BestResult.EnergyJ/1e6)
 	s := n.TotalTrace().Sample(2).Slice(out.VASPStart, out.VASPEnd)
 	fmt.Println(report.SeriesLine("node", s, 70))
-	for i := 0; i < 4; i++ {
+	for i := 0; i < n.NumGPUs(); i++ {
 		g := n.GPUTrace(i).Sample(2).Slice(out.VASPStart, out.VASPEnd)
 		fmt.Println(report.SeriesLine(fmt.Sprintf("gpu%d", i), g, 70))
 	}

@@ -4,12 +4,16 @@
 //
 // Usage:
 //
-//	powerstudy [-quick] [-seed N] [-repeats N] [-parallel N] [-only table1,fig3,...] [-artifact DIR]
+//	powerstudy [-quick] [-platform NAME] [-seed N] [-repeats N] [-parallel N] [-only table1,fig3,...] [-artifact DIR]
 //
 // Experiment names: table1, fig1..fig13, exta (scheduler ablation),
 // extb (repeat protocol), extc (DVFS vs capping), extd (power
 // prediction), exte (MILC, the second application), extf (top-down
 // signature clustering), extg (metric ablation).
+//
+// -platform selects the hardware platform measurements run on. The
+// default, perlmutter-a100, is the machine the paper measured; every
+// other registered platform is a shape-faithful extrapolation.
 //
 // -parallel N runs the experiment list (and each experiment's internal
 // sweeps) through a worker pool of N goroutines (0 = one per CPU,
@@ -22,12 +26,14 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"vasppower/internal/artifact"
 	"vasppower/internal/experiments"
+	"vasppower/internal/hw/platform"
 	"vasppower/internal/par"
 )
 
@@ -52,6 +58,9 @@ type output struct {
 
 func main() {
 	quick := flag.Bool("quick", false, "trimmed sweeps and single repeats (seconds instead of minutes)")
+	platName := flag.String("platform", "",
+		fmt.Sprintf("hardware platform to run on (default %s; registered: %s)",
+			platform.DefaultName, strings.Join(platform.List(), ", ")))
 	seed := flag.Uint64("seed", 2024, "root random seed")
 	repeats := flag.Int("repeats", 0, "repeats per measurement (0 = paper default of 5, or 1 in quick mode)")
 	parallel := flag.Int("parallel", 0, "worker pool size for experiments and their sweeps (0 = one per CPU, 1 = serial)")
@@ -59,17 +68,35 @@ func main() {
 	artifactDir := flag.String("artifact", "", "directory for CSV data exports (empty = no export)")
 	flag.Parse()
 
-	cfg := experiments.Config{Seed: *seed, Repeats: *repeats, Quick: *quick, Workers: *parallel}
+	if *platName != "" {
+		if _, err := platform.Get(*platName); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	cfg := experiments.Config{
+		Platform: *platName, Seed: *seed, Repeats: *repeats,
+		Quick: *quick, Workers: *parallel,
+	}
+	if err := run(cfg, *only, *artifactDir, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
 
+// run executes the selected experiments against cfg and writes their
+// rendered output to w in list order. It is the whole CLI behind flag
+// parsing, so tests can drive it directly.
+func run(cfg experiments.Config, only, artifactDir string, w io.Writer) error {
 	selected := map[string]bool{}
-	if *only != "" {
-		for _, name := range strings.Split(*only, ",") {
+	if only != "" {
+		for _, name := range strings.Split(only, ",") {
 			selected[strings.TrimSpace(strings.ToLower(name))] = true
 		}
 	}
 	want := func(name string) bool { return len(selected) == 0 || selected[name] }
 
-	exportCSV := *artifactDir != ""
+	exportCSV := artifactDir != ""
 	sep := strings.Repeat("=", 78)
 	// simple wraps a single-result experiment in the standard emit
 	// format (separator, render, timing line).
@@ -171,14 +198,14 @@ func main() {
 
 	// The experiment list itself goes through the pool: each unit's
 	// output lands in its slot and is printed strictly in list order as
-	// it becomes ready. A failed unit exits with its own error, at its
+	// it becomes ready. A failed unit surfaces its own error, at its
 	// position in the list, exactly like the serial CLI did.
 	outputs := make([]output, len(units))
 	done := make([]chan struct{}, len(units))
 	for i := range done {
 		done[i] = make(chan struct{})
 	}
-	go par.ForEach(context.Background(), par.Workers(*parallel), len(units),
+	go par.ForEach(context.Background(), par.Workers(cfg.Workers), len(units),
 		func(_ context.Context, i int) error {
 			outputs[i].text, outputs[i].tables, outputs[i].err = units[i].run()
 			close(done[i])
@@ -189,19 +216,18 @@ func main() {
 	for i := range units {
 		<-done[i]
 		if err := outputs[i].err; err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", units[i].name, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", units[i].name, err)
 		}
-		fmt.Print(outputs[i].text)
+		fmt.Fprint(w, outputs[i].text)
 		tables = append(tables, outputs[i].tables...)
 	}
 
 	if exportCSV && len(tables) > 0 {
-		paths, err := artifact.Write(*artifactDir, tables...)
+		paths, err := artifact.Write(artifactDir, tables...)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "artifact export: %v\n", err)
-			os.Exit(1)
+			return fmt.Errorf("artifact export: %w", err)
 		}
-		fmt.Printf("artifact bundle: %d CSV files under %s\n", len(paths), *artifactDir)
+		fmt.Fprintf(w, "artifact bundle: %d CSV files under %s\n", len(paths), artifactDir)
 	}
+	return nil
 }

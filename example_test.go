@@ -38,7 +38,7 @@ func ExampleHighPowerMode() {
 // ExampleMeasure profiles one benchmark end to end.
 func ExampleMeasure() {
 	b, _ := vasppower.BenchmarkByName("B.hR105_hse")
-	jp, err := vasppower.Measure(b, 1, 1, 0, 42)
+	jp, err := vasppower.Measure(vasppower.MeasureSpec{Bench: b, Nodes: 1, Repeats: 1, CapW: 0, Seed: 42})
 	if err != nil {
 		panic(err)
 	}
@@ -51,7 +51,7 @@ func ExampleMeasure() {
 // workload.
 func ExampleMeasureCapResponse() {
 	b, _ := vasppower.BenchmarkByName("GaAsBi-64")
-	cr, err := vasppower.MeasureCapResponse(b, 1, []float64{400, 200}, 1, 42)
+	cr, err := vasppower.MeasureCapResponse(vasppower.MeasureSpec{Bench: b, Nodes: 1, Repeats: 1, Seed: 42}, []float64{400, 200})
 	if err != nil {
 		panic(err)
 	}

@@ -18,7 +18,9 @@ func main() {
 		if !ok {
 			log.Fatalf("benchmark %s not found", name)
 		}
-		cr, err := vasppower.MeasureCapResponse(bench, bench.OptimalNodes, caps, 3, 42)
+		cr, err := vasppower.MeasureCapResponse(vasppower.MeasureSpec{
+			Bench: bench, Nodes: bench.OptimalNodes, Repeats: 3, Seed: 42,
+		}, caps)
 		if err != nil {
 			log.Fatal(err)
 		}

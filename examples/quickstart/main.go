@@ -21,8 +21,8 @@ func main() {
 		bench.Structure.NumIons, bench.Structure.Electrons, bench.NBands, bench.NPLWV())
 
 	// Five repeats with minimum-runtime selection, default power
-	// limits, one node (four A100s).
-	profile, err := vasppower.Measure(bench, 1, 5, 0, 42)
+	// limits, one node of the default platform (four A100s).
+	profile, err := vasppower.Measure(vasppower.MeasureSpec{Bench: bench, Repeats: 5, Seed: 42})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -36,7 +36,7 @@ func main() {
 	fmt.Printf("node power: min %.0f / median %.0f / mean %.0f / max %.0f W\n",
 		profile.NodeTotal.Summary.Min, profile.NodeTotal.Summary.Median,
 		profile.NodeTotal.Summary.Mean, profile.NodeTotal.Summary.Max)
-	fmt.Printf("the four GPUs draw %.0f%% of node power; CPU+memory %.0f%%\n",
+	fmt.Printf("the GPUs draw %.0f%% of node power; CPU+memory %.0f%%\n",
 		profile.GPUShareOfNode()*100, profile.CPUMemShareOfNode()*100)
 
 	// The same analysis works on any power sample.

@@ -16,6 +16,7 @@ import (
 	"vasppower/internal/dft/parallel"
 	"vasppower/internal/dft/solver"
 	"vasppower/internal/hw/node"
+	"vasppower/internal/hw/platform"
 	"vasppower/internal/interconnect"
 	"vasppower/internal/monitor"
 	"vasppower/internal/nvsmi"
@@ -135,7 +136,7 @@ ENCUT = 245
 		FFTGrid: grid, KPoints: incar.GammaOnly(), KPar: 1,
 		ENCUT: p.ENCUT, OptimalNodes: 1,
 	}
-	jp, err := vasppower.Measure(bench, 1, 1, 0, 7)
+	jp, err := vasppower.Measure(vasppower.MeasureSpec{Bench: bench, Nodes: 1, Repeats: 1, CapW: 0, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ ENCUT = 245
 // interface and observes the effect in the recorded traces.
 func TestControlPlaneRoundTrip(t *testing.T) {
 	bench, _ := workloads.ByName("B.hR105_hse")
-	cfgM, err := bench.Config(1)
+	cfgM, err := bench.Config(platform.Platform{}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +161,7 @@ func TestControlPlaneRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	n := node.New("nid000001", node.PerlmutterGPUNode(), nil)
+	n := node.New("nid000001", platform.Default(), nil)
 	smi := nvsmi.New()
 	if err := smi.Register(n); err != nil {
 		t.Fatal(err)
@@ -175,7 +176,7 @@ func TestControlPlaneRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := 0; i < node.GPUsPerNode; i++ {
+	for i := 0; i < n.NumGPUs(); i++ {
 		if max := n.GPUTrace(i).MaxPower(); max > 250.01 {
 			t.Fatalf("gpu %d exceeded the nvsmi-set cap: %v", i, max)
 		}
@@ -197,7 +198,7 @@ func TestDecompositionConsistency(t *testing.T) {
 	count := func(kpar int) int {
 		b := bench
 		b.KPar = kpar
-		cfg, err := b.Config(1)
+		cfg, err := b.Config(platform.Platform{}, 1)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,4 +1,4 @@
-// Package cluster models a pool of Perlmutter-like GPU nodes with
+// Package cluster models a pool of GPU nodes of one platform with
 // per-node manufacturing variability and a simple allocator. Node
 // identity (the "nid######" name) deterministically seeds each node's
 // variability, so any experiment that lands on the same nodes sees the
@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"vasppower/internal/hw/node"
+	"vasppower/internal/hw/platform"
 	"vasppower/internal/interconnect"
 	"vasppower/internal/rng"
 )
@@ -19,34 +20,39 @@ import (
 type Cluster struct {
 	Fabric interconnect.Fabric
 
-	spec  node.Spec
-	root  *rng.Stream
-	nodes map[string]*node.Node
-	free  map[string]bool
-	names []string // sorted, for deterministic allocation order
+	platform platform.Platform
+	root     *rng.Stream
+	nodes    map[string]*node.Node
+	free     map[string]bool
+	names    []string // sorted, for deterministic allocation order
 }
 
-// New builds a cluster of n GPU nodes seeded from seed.
-func New(n int, seed uint64) *Cluster {
+// New builds a cluster of n GPU nodes of platform p seeded from seed.
+// A zero p resolves to the default platform.
+func New(p platform.Platform, n int, seed uint64) *Cluster {
 	if n <= 0 {
 		panic("cluster: non-positive node count")
 	}
+	p = platform.OrDefault(p)
 	c := &Cluster{
-		Fabric: interconnect.Slingshot(),
-		spec:   node.PerlmutterGPUNode(),
-		root:   rng.New(seed),
-		nodes:  make(map[string]*node.Node, n),
-		free:   make(map[string]bool, n),
+		Fabric:   interconnect.Slingshot(),
+		platform: p,
+		root:     rng.New(seed),
+		nodes:    make(map[string]*node.Node, n),
+		free:     make(map[string]bool, n),
 	}
 	for i := 0; i < n; i++ {
 		name := fmt.Sprintf("nid%06d", i+1)
-		c.nodes[name] = node.New(name, c.spec, c.root.Split(name))
+		c.nodes[name] = node.New(name, c.platform, c.root.Split(name))
 		c.free[name] = true
 		c.names = append(c.names, name)
 	}
 	sort.Strings(c.names)
 	return c
 }
+
+// Platform returns the platform the cluster's nodes are built from.
+func (c *Cluster) Platform() platform.Platform { return c.platform }
 
 // Size returns the total node count.
 func (c *Cluster) Size() int { return len(c.nodes) }
@@ -109,7 +115,7 @@ func (c *Cluster) Release(nodes []*node.Node) {
 // TotalTDP returns the aggregate node TDP of the cluster, the number a
 // facility compares against its power budget.
 func (c *Cluster) TotalTDP() float64 {
-	return float64(len(c.nodes)) * c.spec.TDP
+	return float64(len(c.nodes)) * c.platform.Node.TDP
 }
 
 // TotalIdlePower returns the sum of per-node idle power.

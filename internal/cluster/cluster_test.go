@@ -2,10 +2,12 @@ package cluster
 
 import (
 	"testing"
+
+	"vasppower/internal/hw/platform"
 )
 
 func TestAllocateAndRelease(t *testing.T) {
-	c := New(8, 1)
+	c := New(platform.Platform{}, 8, 1)
 	if c.Size() != 8 || c.FreeCount() != 8 {
 		t.Fatalf("size/free = %d/%d", c.Size(), c.FreeCount())
 	}
@@ -27,7 +29,7 @@ func TestAllocateAndRelease(t *testing.T) {
 }
 
 func TestAllocateTooMany(t *testing.T) {
-	c := New(2, 1)
+	c := New(platform.Platform{}, 2, 1)
 	if _, err := c.Allocate(3); err == nil {
 		t.Fatal("over-allocation accepted")
 	}
@@ -40,7 +42,7 @@ func TestAllocateTooMany(t *testing.T) {
 }
 
 func TestReleaseResetsState(t *testing.T) {
-	c := New(2, 1)
+	c := New(platform.Platform{}, 2, 1)
 	nodes, _ := c.Allocate(1)
 	n := nodes[0]
 	n.RecordIdle(10)
@@ -55,8 +57,8 @@ func TestReleaseResetsState(t *testing.T) {
 }
 
 func TestNodeVariabilityStableAcrossClusters(t *testing.T) {
-	a := New(4, 42)
-	b := New(4, 42)
+	a := New(platform.Platform{}, 4, 42)
+	b := New(platform.Platform{}, 4, 42)
 	for _, name := range a.Names() {
 		if a.Node(name).IdlePower() != b.Node(name).IdlePower() {
 			t.Fatalf("node %s differs across identically-seeded clusters", name)
@@ -69,7 +71,7 @@ func TestNodeVariabilityStableAcrossClusters(t *testing.T) {
 }
 
 func TestTotalTDP(t *testing.T) {
-	c := New(10, 1)
+	c := New(platform.Platform{}, 10, 1)
 	if got := c.TotalTDP(); got != 23500 {
 		t.Fatalf("TotalTDP = %v, want 23500", got)
 	}
@@ -80,8 +82,8 @@ func TestTotalTDP(t *testing.T) {
 }
 
 func TestReleaseForeignNodePanics(t *testing.T) {
-	a := New(2, 1)
-	b := New(2, 2)
+	a := New(platform.Platform{}, 2, 1)
+	b := New(platform.Platform{}, 2, 2)
 	nodes, _ := b.Allocate(1)
 	// Rename so it's not found in a.
 	nodes[0].Name = "rogue"

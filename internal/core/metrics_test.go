@@ -26,7 +26,7 @@ func TestBestCapByEDP(t *testing.T) {
 	// A cap that saves real energy at mild slowdown should beat the
 	// uncapped point on EDP for a heavy workload.
 	b, _ := workloads.ByName("B.hR105_hse")
-	cr, err := MeasureCapResponse(b, 1, []float64{400, 300, 200}, 1, 11)
+	cr, err := MeasureCapResponse(MeasureSpec{Bench: b, Nodes: 1, Repeats: 1, Seed: 11}, []float64{400, 300, 200})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +44,7 @@ func TestBestCapByEDP(t *testing.T) {
 
 func TestTradeoffOf(t *testing.T) {
 	b, _ := workloads.ByName("B.hR105_hse")
-	jp, err := MeasureBenchmark(b, 1, 1, 0, 11)
+	jp, err := Measure(MeasureSpec{Bench: b, Nodes: 1, Repeats: 1, CapW: 0, Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"vasppower/internal/hw/node"
+	"vasppower/internal/hw/platform"
 	"vasppower/internal/par"
 	"vasppower/internal/stats"
 	"vasppower/internal/timeseries"
@@ -56,12 +57,12 @@ type JobProfile struct {
 	NodeTotal Profile // node-level sensor (components + peripherals)
 	CPU       Profile
 	Mem       Profile
-	GPUs      [node.GPUsPerNode]Profile
-	GPUSum    Profile // four GPUs combined
+	GPUs      []Profile // one per device on the node
+	GPUSum    Profile   // all GPUs combined
 }
 
 // GPUShareOfNode returns the fraction of mean node power drawn by the
-// four GPUs (the paper reports >70% for the heavy benchmarks).
+// GPUs (the paper reports >70% for the heavy benchmarks).
 func (jp JobProfile) GPUShareOfNode() float64 {
 	if jp.NodeTotal.Summary.Mean == 0 {
 		return 0
@@ -89,7 +90,8 @@ func ProfileWindow(n *node.Node, start, end, interval float64) JobProfile {
 	jp.NodeTotal = ProfileSeries(n.TotalTrace().Sample(interval).Slice(start, end))
 	jp.CPU = sample(n.CPUTrace())
 	jp.Mem = sample(n.MemTrace())
-	for i := 0; i < node.GPUsPerNode; i++ {
+	jp.GPUs = make([]Profile, n.NumGPUs())
+	for i := 0; i < n.NumGPUs(); i++ {
 		jp.GPUs[i] = sample(n.GPUTrace(i))
 	}
 	jp.GPUSum = ProfileSeries(n.GPUSumTrace().Sample(interval).Slice(start, end))
@@ -113,32 +115,56 @@ func ProfileRun(out workloads.RunOutput, interval float64) JobProfile {
 	return jp
 }
 
-// MeasureBenchmark runs a benchmark with the paper's protocol and
-// returns its profile. Repeats run serially; use
-// MeasureBenchmarkWorkers to fan them out.
-func MeasureBenchmark(b workloads.Benchmark, nodes, repeats int, capW float64, seed uint64) (JobProfile, error) {
-	return MeasureBenchmarkWorkers(b, nodes, repeats, capW, seed, 1)
+// MeasureSpec configures one measurement: which benchmark, on which
+// platform, at what scale, under which GPU power cap. It is the single
+// entry point's options struct; zero fields take the paper's protocol
+// defaults (default platform, 1 node, 1 repeat, uncapped, serial).
+type MeasureSpec struct {
+	Bench    workloads.Benchmark
+	Platform platform.Platform // zero = default platform
+	Nodes    int               // 0 = 1
+	Repeats  int               // 0 = 1; best (min-runtime) repeat is profiled
+	CapW     float64           // GPU power cap, W; <= 0 or >= GPU TDP = uncapped
+	Seed     uint64
+	// Workers fans the repeat loop out over goroutines (0 = one per
+	// CPU, 1 = serial). The profile is identical for every worker
+	// count: each repeat draws from its own seed-split noise stream and
+	// the minimum-runtime repeat is selected by index.
+	Workers int
 }
 
-// MeasureBenchmarkWorkers is MeasureBenchmark with the repeat loop fanned
-// out over `workers` goroutines (0 = one per CPU, 1 = serial). The
-// profile is identical for every worker count: each repeat draws from
-// its own seed-split noise stream and the minimum-runtime repeat is
-// selected by index.
-func MeasureBenchmarkWorkers(b workloads.Benchmark, nodes, repeats int, capW float64, seed uint64, workers int) (JobProfile, error) {
+func (spec MeasureSpec) withDefaults() MeasureSpec {
+	spec.Platform = platform.OrDefault(spec.Platform)
+	if spec.Nodes <= 0 {
+		spec.Nodes = 1
+	}
+	if spec.Repeats <= 0 {
+		spec.Repeats = 1
+	}
+	if spec.Workers == 0 {
+		spec.Workers = 1
+	}
+	return spec
+}
+
+// Measure runs a benchmark with the paper's protocol (prelude burn-in,
+// repeats, min-runtime selection) and returns its profile.
+func Measure(spec MeasureSpec) (JobProfile, error) {
+	spec = spec.withDefaults()
 	out, err := workloads.Run(workloads.RunSpec{
-		Bench:         b,
-		Nodes:         nodes,
-		GPUPowerLimit: capW,
-		Repeats:       repeats,
-		Seed:          seed,
-		Workers:       workers,
+		Bench:         spec.Bench,
+		Platform:      spec.Platform,
+		Nodes:         spec.Nodes,
+		GPUPowerLimit: spec.CapW,
+		Repeats:       spec.Repeats,
+		Seed:          spec.Seed,
+		Workers:       spec.Workers,
 	})
 	if err != nil {
 		return JobProfile{}, err
 	}
 	jp := ProfileRun(out, DefaultSamplingInterval)
-	jp.Name = b.Name
+	jp.Name = spec.Bench.Name
 	return jp, nil
 }
 
@@ -156,46 +182,44 @@ type CapPoint struct {
 type CapResponse struct {
 	Bench    string
 	Nodes    int
-	Baseline float64 // runtime at the default 400 W limit
+	Baseline float64 // runtime at the default (TDP) limit
 	Points   []CapPoint
 }
 
-// MeasureCapResponse runs the benchmark under each cap (0 or 400 =
-// default first) and returns the response. Measurements run serially;
-// use MeasureCapResponseWorkers to fan the cap points out.
-func MeasureCapResponse(b workloads.Benchmark, nodes int, caps []float64, repeats int, seed uint64) (CapResponse, error) {
-	return MeasureCapResponseWorkers(b, nodes, caps, repeats, seed, 1)
-}
-
-// MeasureCapResponseWorkers measures the uncapped baseline and every
-// effective cap (< 400 W) concurrently across `workers` goroutines
-// (0 = one per CPU, 1 = serial) and assembles the response in cap
-// order. Each cap point is an independent run at the same seed, so the
-// response is identical for every worker count. Caps of 0 or ≥ 400 W
-// reuse the baseline measurement, as on the real machine where 400 W
-// is the default limit.
-func MeasureCapResponseWorkers(b workloads.Benchmark, nodes int, caps []float64, repeats int, seed uint64, workers int) (CapResponse, error) {
-	cr := CapResponse{Bench: b.Name, Nodes: nodes}
+// MeasureCapResponse measures the uncapped baseline and every
+// effective cap (below the platform GPU's TDP) concurrently across
+// spec.Workers goroutines and assembles the response in cap order
+// (spec.CapW is ignored; the caps argument drives the sweep). Each cap
+// point is an independent run at the same seed, so the response is
+// identical for every worker count. Caps of 0 or ≥ TDP reuse the
+// baseline measurement, as on the real machine where the TDP is the
+// default limit.
+func MeasureCapResponse(spec MeasureSpec, caps []float64) (CapResponse, error) {
+	spec = spec.withDefaults()
+	tdp := spec.Platform.GPU.TDP
+	cr := CapResponse{Bench: spec.Bench.Name, Nodes: spec.Nodes}
 	// Slot 0 is the uncapped baseline; slot i+1 is caps[i], measured
 	// only when the cap actually binds.
 	profiles := make([]JobProfile, len(caps)+1)
 	need := make([]bool, len(caps)+1)
 	need[0] = true
 	for i, cap := range caps {
-		if cap > 0 && cap < 400 {
+		if cap > 0 && cap < tdp {
 			need[i+1] = true
 		}
 	}
-	err := par.ForEach(context.Background(), par.Workers(workers), len(profiles),
+	err := par.ForEach(context.Background(), par.Workers(spec.Workers), len(profiles),
 		func(_ context.Context, i int) error {
 			if !need[i] {
 				return nil
 			}
-			capW := 0.0
+			pt := spec
+			pt.CapW = 0
+			pt.Workers = 1 // parallelism is across cap points here
 			if i > 0 {
-				capW = caps[i-1]
+				pt.CapW = caps[i-1]
 			}
-			jp, err := MeasureBenchmark(b, nodes, repeats, capW, seed)
+			jp, err := Measure(pt)
 			if err != nil {
 				return err
 			}
@@ -219,9 +243,9 @@ func MeasureCapResponseWorkers(b workloads.Benchmark, nodes int, caps []float64,
 			EnergyJ: jp.EnergyJ,
 		}
 		if cap <= 0 {
-			pt.CapW = 400
+			pt.CapW = tdp
 		}
-		// Per-GPU high power mode: average over the four devices.
+		// Per-GPU high power mode: average over the node's devices.
 		var sum float64
 		cnt := 0
 		for _, g := range jp.GPUs {

@@ -42,7 +42,7 @@ func TestProfileSeriesEmpty(t *testing.T) {
 
 func TestMeasureBenchmarkProfile(t *testing.T) {
 	b, _ := workloads.ByName("B.hR105_hse")
-	jp, err := MeasureBenchmark(b, 1, 2, 0, 7)
+	jp, err := Measure(MeasureSpec{Bench: b, Nodes: 1, Repeats: 2, CapW: 0, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,11 +68,11 @@ func TestMeasureBenchmarkProfile(t *testing.T) {
 
 func TestMeasureBenchmarkCapReducesMode(t *testing.T) {
 	b, _ := workloads.ByName("B.hR105_hse")
-	base, err := MeasureBenchmark(b, 1, 1, 0, 7)
+	base, err := Measure(MeasureSpec{Bench: b, Nodes: 1, Repeats: 1, CapW: 0, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
-	capped, err := MeasureBenchmark(b, 1, 1, 200, 7)
+	capped, err := Measure(MeasureSpec{Bench: b, Nodes: 1, Repeats: 1, CapW: 200, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +90,7 @@ func TestMeasureBenchmarkCapReducesMode(t *testing.T) {
 
 func TestMeasureCapResponse(t *testing.T) {
 	b, _ := workloads.ByName("B.hR105_hse")
-	cr, err := MeasureCapResponse(b, 1, []float64{400, 300, 200}, 1, 7)
+	cr, err := MeasureCapResponse(MeasureSpec{Bench: b, Nodes: 1, Repeats: 1, Seed: 7}, []float64{400, 300, 200})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -113,7 +113,7 @@ func TestHSEContainsExchangeSteps(t *testing.T) {
 }
 
 func TestHSEHeavierThanDFT(t *testing.T) {
-	g := gpu.New(gpu.A100SXM40GB(), 0, nil)
+	g := gpu.New(gpu.A100SXM40GB(), 0, nil, gpu.DefaultVariability())
 	dft, _ := Build(testConfig(DFTCG))
 	hse, _ := Build(testConfig(HSE))
 	if hse.GPUSeconds(g) < 5*dft.GPUSeconds(g) {

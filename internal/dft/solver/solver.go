@@ -124,7 +124,7 @@ func executeGPUStep(job Job, st method.Step) float64 {
 	var execs [][]exec
 	maxDur := 0.0
 	for _, n := range job.Nodes {
-		row := make([]exec, node.GPUsPerNode)
+		row := make([]exec, n.NumGPUs())
 		for i, g := range n.GPUs {
 			ex := g.Run(st.GPU)
 			row[i] = exec{dur: ex.Duration, power: ex.Power}
@@ -137,8 +137,9 @@ func executeGPUStep(job Job, st method.Step) float64 {
 	maxDur *= jitter(job)
 	for ni, n := range job.Nodes {
 		cp := node.ComponentPowers{
-			CPU: n.CPU.HostOrchestrationPower(),
-			Mem: memPower(n, st.MemActivity),
+			CPU:  n.CPU.HostOrchestrationPower(),
+			Mem:  memPower(n, st.MemActivity),
+			GPUs: make([]float64, n.NumGPUs()),
 		}
 		for i := range n.GPUs {
 			// Devices that finish early wait at the barrier near idle;

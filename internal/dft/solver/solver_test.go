@@ -7,6 +7,7 @@ import (
 	"vasppower/internal/dft/method"
 	"vasppower/internal/dft/parallel"
 	"vasppower/internal/hw/node"
+	"vasppower/internal/hw/platform"
 	"vasppower/internal/interconnect"
 	"vasppower/internal/rng"
 )
@@ -42,7 +43,7 @@ func testJob(t *testing.T, kind method.Kind, nodes int, seedNodes bool) Job {
 		if seedNodes {
 			r = root.Split(string(rune('a' + i)))
 		}
-		ns = append(ns, node.New("n", node.PerlmutterGPUNode(), r))
+		ns = append(ns, node.New("n", platform.Default(), r))
 	}
 	return Job{
 		Name:     "test",
@@ -66,7 +67,7 @@ func TestRunProducesAlignedTraces(t *testing.T) {
 		if math.Abs(n.TraceDuration()-res.Runtime) > 1e-9 {
 			t.Fatalf("node trace %v != runtime %v", n.TraceDuration(), res.Runtime)
 		}
-		for i := 0; i < node.GPUsPerNode; i++ {
+		for i := 0; i < n.NumGPUs(); i++ {
 			if math.Abs(n.GPUTrace(i).Duration()-res.Runtime) > 1e-9 {
 				t.Fatal("GPU trace misaligned")
 			}

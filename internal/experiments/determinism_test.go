@@ -67,7 +67,7 @@ func TestConcurrentMeasureConsistency(t *testing.T) {
 	// Reference profiles, measured serially on a fresh cache.
 	want := make([]core.JobProfile, len(benches))
 	for i, b := range benches {
-		jp, err := measure(b, 1, 1, 0, 42)
+		jp, err := measure(Config{Seed: 42}, b, 1, 1, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -85,7 +85,7 @@ func TestConcurrentMeasureConsistency(t *testing.T) {
 			defer wg.Done()
 			for it := 0; it < iters; it++ {
 				i := (g + it) % len(benches)
-				jp, err := measure(benches[i], 1, 1, 0, 42)
+				jp, err := measure(Config{Seed: 42}, benches[i], 1, 1, 0)
 				if err != nil {
 					errs <- err
 					return

@@ -7,9 +7,11 @@ package experiments
 
 import (
 	"context"
-	"fmt"
+	"strconv"
+	"strings"
 
 	"vasppower/internal/core"
+	"vasppower/internal/hw/platform"
 	"vasppower/internal/memo"
 	"vasppower/internal/par"
 	"vasppower/internal/workloads"
@@ -17,6 +19,9 @@ import (
 
 // Config controls experiment execution.
 type Config struct {
+	// Platform names the registered hardware platform measurements run
+	// on; empty means the default (the paper's perlmutter-a100).
+	Platform string
 	// Seed drives all stochastic elements (node variability, jitter).
 	Seed uint64
 	// Repeats per measurement; the paper uses 5. Zero means 5, or 1
@@ -56,6 +61,20 @@ func (c Config) seed() uint64 {
 // workers resolves Config.Workers to an effective pool size.
 func (c Config) workers() int { return par.Workers(c.Workers) }
 
+// platform resolves Config.Platform against the registry; an unknown
+// name panics, since runners have no error path for configuration
+// mistakes and the CLI validates the flag before building a Config.
+func (c Config) platform() platform.Platform {
+	if c.Platform == "" {
+		return platform.Default()
+	}
+	p, err := platform.Get(c.Platform)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
 // measurement cache: the scaling, capping, and profiling figures share
 // many runs; each (benchmark, nodes, cap, repeats, seed) is measured
 // once per process. The sharded singleflight cache deduplicates
@@ -63,15 +82,33 @@ func (c Config) workers() int { return par.Workers(c.Workers) }
 // computes and the rest wait for its result.
 var cache = memo.New[core.JobProfile]()
 
-// measure runs (or recalls) one benchmark measurement. The key
-// includes the size parameters so same-named variants (e.g. a
-// synthetic Si128_acfdtr next to the Table I one) never collide.
-func measure(b workloads.Benchmark, nodes, repeats int, capW float64, seed uint64) (core.JobProfile, error) {
-	key := fmt.Sprintf("%s|%d|%d|%d|%d|%.0f|%d|%.0f|%d|%d",
-		b.Name, b.NPLWV(), b.NBands, b.NBandsExact, b.NELM, b.ENCUT,
-		nodes, capW, repeats, seed)
+// measureKey builds the cache key for one measurement. It includes
+// the size parameters so same-named variants (e.g. a synthetic
+// Si128_acfdtr next to the Table I one) never collide, the platform
+// name so two platforms never share a profile, and renders every
+// float at full precision — %.0f would alias ENCUT 410.4 with 410 and
+// cap 149.6 with 150.
+func measureKey(p platform.Platform, b workloads.Benchmark, nodes, repeats int, capW float64, seed uint64) string {
+	f := func(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
+	return strings.Join([]string{
+		p.Name, b.Name,
+		strconv.Itoa(b.NPLWV()), strconv.Itoa(b.NBands), strconv.Itoa(b.NBandsExact),
+		strconv.Itoa(b.NELM), f(b.ENCUT),
+		strconv.Itoa(nodes), f(capW), strconv.Itoa(repeats),
+		strconv.FormatUint(seed, 10),
+	}, "|")
+}
+
+// measure runs (or recalls) one benchmark measurement on cfg's
+// platform at cfg's seed.
+func measure(cfg Config, b workloads.Benchmark, nodes, repeats int, capW float64) (core.JobProfile, error) {
+	p := cfg.platform()
+	key := measureKey(p, b, nodes, repeats, capW, cfg.seed())
 	return cache.Do(context.Background(), key, func() (core.JobProfile, error) {
-		return core.MeasureBenchmark(b, nodes, repeats, capW, seed)
+		return core.Measure(core.MeasureSpec{
+			Bench: b, Platform: p, Nodes: nodes, Repeats: repeats,
+			CapW: capW, Seed: cfg.seed(),
+		})
 	})
 }
 

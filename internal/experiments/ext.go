@@ -48,7 +48,7 @@ func RunExtScheduler(cfg Config) (ExtSchedulerResult, error) {
 				BudgetW:      budget,
 				IdleNodeW:    460,
 				Policy:       policies[i],
-				Catalog:      sched.NewCatalog(cfg.seed()),
+				Catalog:      sched.NewCatalogOn(cfg.platform(), cfg.seed()),
 			}, jobs)
 			if err != nil {
 				return err
@@ -124,10 +124,11 @@ func RunExtRepeats(cfg Config) (ExtRepeatsResult, error) {
 	err := par.ForEach(context.Background(), cfg.workers(), repeats,
 		func(_ context.Context, i int) error {
 			out, err := workloads.Run(workloads.RunSpec{
-				Bench:   bench,
-				Nodes:   1,
-				Repeats: 1,
-				Seed:    cfg.seed() + uint64(i)*7919,
+				Bench:    bench,
+				Platform: cfg.platform(),
+				Nodes:    1,
+				Repeats:  1,
+				Seed:     cfg.seed() + uint64(i)*7919,
 			})
 			if err != nil {
 				return err

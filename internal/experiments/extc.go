@@ -63,13 +63,13 @@ func RunExtC(cfg Config) (ExtCResult, error) {
 			}
 			row := ExtCRow{Bench: name}
 
-			base, err := measure(b, 1, cfg.repeats(), 0, cfg.seed())
+			base, err := measure(cfg, b, 1, cfg.repeats(), 0)
 			if err != nil {
 				return err
 			}
 			row.BaseRuntime = base.Runtime
 
-			capped, err := measure(b, 1, cfg.repeats(), res.TargetW, cfg.seed())
+			capped, err := measure(cfg, b, 1, cfg.repeats(), res.TargetW)
 			if err != nil {
 				return err
 			}
@@ -82,17 +82,18 @@ func RunExtC(cfg Config) (ExtCResult, error) {
 			// runs and checking the exact trace maximum (DVFS gives no
 			// hardware guarantee, so compliance must hold at every instant,
 			// not just on 2 s averages).
-			loMHz, hiMHz := 210.0, 1410.0
+			gspec := cfg.platform().GPU
+			loMHz, hiMHz := gspec.MinClockFrac*gspec.MaxClockMHz, gspec.MaxClockMHz
 			eval := func(mhz float64) (core.JobProfile, float64, error) {
 				out, err := workloads.Run(workloads.RunSpec{
-					Bench: b, Nodes: 1, Repeats: cfg.repeats(),
+					Bench: b, Platform: cfg.platform(), Nodes: 1, Repeats: cfg.repeats(),
 					GPUClockLimitMHz: mhz, Seed: cfg.seed(),
 				})
 				if err != nil {
 					return core.JobProfile{}, 0, err
 				}
 				traceMax := 0.0
-				for i := 0; i < 4; i++ {
+				for i := 0; i < out.Nodes[0].NumGPUs(); i++ {
 					if m := out.Nodes[0].GPUTrace(i).MaxPower(); m > traceMax {
 						traceMax = m
 					}

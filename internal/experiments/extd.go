@@ -118,7 +118,7 @@ func RunExtD(cfg Config) (ExtDResult, error) {
 	modes := make([]float64, len(tasks))
 	par.ForEach(context.Background(), cfg.workers(), len(tasks),
 		func(_ context.Context, i int) error {
-			jp, err := measure(tasks[i].bench, tasks[i].nodes, 1, 0, cfg.seed())
+			jp, err := measure(cfg, tasks[i].bench, tasks[i].nodes, 1, 0)
 			if err != nil {
 				return nil // size does not decompose at this count
 			}
@@ -154,7 +154,7 @@ func RunExtD(cfg Config) (ExtDResult, error) {
 	cells := make([]cell, len(benches))
 	par.ForEach(context.Background(), cfg.workers(), len(benches),
 		func(_ context.Context, i int) error {
-			jp, err := measure(benches[i], 1, cfg.repeats(), 0, cfg.seed())
+			jp, err := measure(cfg, benches[i], 1, cfg.repeats(), 0)
 			if err != nil {
 				cells[i].err = err
 				return err

@@ -46,14 +46,15 @@ func RunExtE(cfg Config) (ExtEResult, error) {
 		spec.MDSteps = 10
 	}
 	res := ExtEResult{Spec: spec, Nodes: 1}
-	caps := StudyCaps()
+	caps := StudyCapsFor(cfg.platform())
 	// Every cap point is an independent MILC run at the same seed.
 	profiles := make([]core.JobProfile, len(caps))
 	err := par.ForEach(context.Background(), cfg.workers(), len(caps),
 		func(_ context.Context, i int) error {
 			out, err := workloads.RunMILC(workloads.MILCRunSpec{
-				Spec: spec, Nodes: res.Nodes, Repeats: cfg.repeats(),
-				GPUPowerLimit: capOrZero(caps[i]), Seed: cfg.seed(),
+				Spec: spec, Platform: cfg.platform(), Nodes: res.Nodes,
+				Repeats: cfg.repeats(), GPUPowerLimit: capOrZero(caps[i], cfg.platform().GPU.TDP),
+				Seed: cfg.seed(),
 			})
 			if err != nil {
 				return err
@@ -82,8 +83,10 @@ func RunExtE(cfg Config) (ExtEResult, error) {
 	return res, nil
 }
 
-func capOrZero(cap float64) float64 {
-	if cap >= 400 {
+// capOrZero maps caps at or above the platform GPU's TDP to 0 (the
+// default limit).
+func capOrZero(cap, tdp float64) float64 {
+	if cap >= tdp {
 		return 0
 	}
 	return cap
@@ -202,7 +205,7 @@ func RunExtF(cfg Config) (ExtFResult, error) {
 	for _, b := range benches {
 		b := b
 		tasks = append(tasks, func() (ExtFJob, error) {
-			jp, err := measure(b, 1, cfg.repeats(), 0, cfg.seed())
+			jp, err := measure(cfg, b, 1, cfg.repeats(), 0)
 			if err != nil {
 				return ExtFJob{}, err
 			}
@@ -222,7 +225,7 @@ func RunExtF(cfg Config) (ExtFResult, error) {
 				if err != nil {
 					return ExtFJob{}, err
 				}
-				jp, err := measure(b, 1, 1, 0, cfg.seed())
+				jp, err := measure(cfg, b, 1, 1, 0)
 				if err != nil {
 					return ExtFJob{}, err
 				}
@@ -239,7 +242,8 @@ func RunExtF(cfg Config) (ExtFResult, error) {
 		nodes := nodes
 		tasks = append(tasks, func() (ExtFJob, error) {
 			out, err := workloads.RunMILC(workloads.MILCRunSpec{
-				Spec: spec, Nodes: nodes, Repeats: 1, Seed: cfg.seed(),
+				Spec: spec, Platform: cfg.platform(), Nodes: nodes,
+				Repeats: 1, Seed: cfg.seed(),
 			})
 			if err != nil {
 				return ExtFJob{}, err

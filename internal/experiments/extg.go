@@ -63,7 +63,7 @@ func RunExtG(cfg Config) (ExtGResult, error) {
 	profiles := make([]core.JobProfile, len(benches))
 	if err := par.ForEach(context.Background(), cfg.workers(), len(benches),
 		func(_ context.Context, i int) error {
-			jp, err := measure(benches[i], 1, cfg.repeats(), 0, cfg.seed())
+			jp, err := measure(cfg, benches[i], 1, cfg.repeats(), 0)
 			if err != nil {
 				return err
 			}

@@ -41,11 +41,12 @@ func RunFig1(cfg Config) (Fig1Result, error) {
 		nodes = 2
 	}
 	out, err := workloads.Run(workloads.RunSpec{
-		Bench:   bench,
-		Nodes:   nodes,
-		Repeats: 1,
-		Prelude: true,
-		Seed:    cfg.seed(),
+		Bench:    bench,
+		Platform: cfg.platform(),
+		Nodes:    nodes,
+		Repeats:  1,
+		Prelude:  true,
+		Seed:     cfg.seed(),
 	})
 	if err != nil {
 		return Fig1Result{}, err

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"vasppower/internal/core"
+	"vasppower/internal/hw/platform"
 	"vasppower/internal/par"
 	"vasppower/internal/report"
 	"vasppower/internal/workloads"
@@ -29,15 +30,31 @@ type CapStudyResult struct {
 	Caps   []float64
 }
 
-// StudyCaps lists the applied power caps (W).
-func StudyCaps() []float64 { return []float64{400, 300, 200, 100} }
+// StudyCapsFor lists the applied power caps (W) for a platform: the
+// paper's sweep expressed as TDP fractions (100/75/50/25%), with any
+// point below the GPU's settable floor raised to that floor. On
+// perlmutter-a100 this is exactly the paper's 400/300/200/100 W.
+func StudyCapsFor(p platform.Platform) []float64 {
+	var caps []float64
+	for _, frac := range []float64{1, 0.75, 0.5, 0.25} {
+		c := p.GPU.TDP * frac
+		if c < p.GPU.MinPowerLimit {
+			c = p.GPU.MinPowerLimit
+		}
+		if n := len(caps); n > 0 && caps[n-1] == c {
+			continue
+		}
+		caps = append(caps, c)
+	}
+	return caps
+}
 
 // RunCapStudy measures the cap sweep.
 func RunCapStudy(cfg Config) (CapStudyResult, error) {
 	res := CapStudyResult{
 		Series: map[string][]CapPoint{},
 		Nodes:  map[string]int{},
-		Caps:   StudyCaps(),
+		Caps:   StudyCapsFor(cfg.platform()),
 	}
 	benches := workloads.TableI()
 	if cfg.Quick {
@@ -48,19 +65,21 @@ func RunCapStudy(cfg Config) (CapStudyResult, error) {
 		}
 	}
 	// Per benchmark: slot 0 is the uncapped baseline, slot 1+ci is
-	// Caps[ci] (measured only when the cap binds; 400 W is the default
-	// limit and reuses the baseline).
+	// Caps[ci] (measured only when the cap binds; a cap at or above
+	// the platform GPU's TDP is the default limit and reuses the
+	// baseline).
 	type cell struct {
 		jp  core.JobProfile
 		err error
 	}
+	tdp := cfg.platform().GPU.TDP
 	stride := 1 + len(res.Caps)
 	cells := make([]cell, len(benches)*stride)
 	need := make([]bool, len(cells))
 	for bi := range benches {
 		need[bi*stride] = true
 		for ci, cap := range res.Caps {
-			if cap < 400 {
+			if cap < tdp {
 				need[bi*stride+1+ci] = true
 			}
 		}
@@ -81,7 +100,7 @@ func RunCapStudy(cfg Config) (CapStudyResult, error) {
 			if r := i % stride; r > 0 {
 				capW = res.Caps[r-1]
 			}
-			cells[i].jp, cells[i].err = measure(b, benchNodes(b), cfg.repeats(), capW, cfg.seed())
+			cells[i].jp, cells[i].err = measure(cfg, b, benchNodes(b), cfg.repeats(), capW)
 			return cells[i].err
 		})
 	for bi, b := range benches {
@@ -92,7 +111,7 @@ func RunCapStudy(cfg Config) (CapStudyResult, error) {
 		}
 		for ci, cap := range res.Caps {
 			jp := base.jp
-			if cap < 400 {
+			if cap < tdp {
 				c := cells[bi*stride+1+ci]
 				if c.err != nil {
 					return res, c.err

@@ -27,12 +27,14 @@ type Fig11Result struct {
 // RunFig11 measures both runs.
 func RunFig11(cfg Config) (Fig11Result, error) {
 	bench, _ := workloads.ByName("Si128_acfdtr")
-	res := Fig11Result{Bench: bench.Name, CapW: 200}
+	// The paper's Fig. 11 cap is 200 W = half the A100 TDP; keep the
+	// same fraction on other platforms.
+	res := Fig11Result{Bench: bench.Name, CapW: cfg.platform().GPU.TDP / 2}
 	var err error
-	if res.Uncapped, err = measure(bench, 1, cfg.repeats(), 0, cfg.seed()); err != nil {
+	if res.Uncapped, err = measure(cfg, bench, 1, cfg.repeats(), 0); err != nil {
 		return res, err
 	}
-	if res.Capped, err = measure(bench, 1, cfg.repeats(), res.CapW, cfg.seed()); err != nil {
+	if res.Capped, err = measure(cfg, bench, 1, cfg.repeats(), res.CapW); err != nil {
 		return res, err
 	}
 	un, cp := res.Uncapped.NodeTotal.Summary, res.Capped.NodeTotal.Summary

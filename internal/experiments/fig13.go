@@ -35,23 +35,24 @@ func RunFig13(cfg Config) (Fig13Result, error) {
 	}
 	res := Fig13Result{
 		Bench:   bench.Name,
-		Caps:    StudyCaps(),
+		Caps:    StudyCapsFor(cfg.platform()),
 		RelPerf: map[int][]float64{},
 		Counts:  counts,
 	}
 	// Per node count: slot 0 is the uncapped baseline, slot 1+ci is
-	// Caps[ci] when it binds (< 400 W).
+	// Caps[ci] when it binds (below the platform GPU's TDP).
 	type cell struct {
 		jp  core.JobProfile
 		err error
 	}
+	tdp := cfg.platform().GPU.TDP
 	stride := 1 + len(res.Caps)
 	cells := make([]cell, len(counts)*stride)
 	need := make([]bool, len(cells))
 	for ni := range counts {
 		need[ni*stride] = true
 		for ci, cap := range res.Caps {
-			if cap < 400 {
+			if cap < tdp {
 				need[ni*stride+1+ci] = true
 			}
 		}
@@ -66,7 +67,7 @@ func RunFig13(cfg Config) (Fig13Result, error) {
 			if r := i % stride; r > 0 {
 				capW = res.Caps[r-1]
 			}
-			cells[i].jp, cells[i].err = measure(bench, n, cfg.repeats(), capW, cfg.seed())
+			cells[i].jp, cells[i].err = measure(cfg, bench, n, cfg.repeats(), capW)
 			return cells[i].err
 		})
 	for ni, n := range counts {
@@ -77,7 +78,7 @@ func RunFig13(cfg Config) (Fig13Result, error) {
 		var rels []float64
 		for ci, cap := range res.Caps {
 			jp := base.jp
-			if cap < 400 {
+			if cap < tdp {
 				c := cells[ni*stride+1+ci]
 				if c.err != nil {
 					return res, c.err

@@ -45,10 +45,11 @@ func RunFig2(cfg Config) (Fig2Result, error) {
 		bench, _ = workloads.ByName("GaAsBi-64")
 	}
 	out, err := workloads.Run(workloads.RunSpec{
-		Bench:   bench,
-		Nodes:   1,
-		Repeats: 1,
-		Seed:    cfg.seed(),
+		Bench:    bench,
+		Platform: cfg.platform(),
+		Nodes:    1,
+		Repeats:  1,
+		Seed:     cfg.seed(),
 	})
 	if err != nil {
 		return Fig2Result{}, err

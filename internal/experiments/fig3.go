@@ -49,7 +49,7 @@ func RunFig3(cfg Config) (Fig3Result, error) {
 			if !ok {
 				return fmt.Errorf("experiments: unknown benchmark %s", name)
 			}
-			jp, err := measure(b, 1, cfg.repeats(), 0, cfg.seed())
+			jp, err := measure(cfg, b, 1, cfg.repeats(), 0)
 			if err != nil {
 				return err
 			}

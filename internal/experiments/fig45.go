@@ -64,7 +64,7 @@ func RunScaling(cfg Config) (ScalingResult, error) {
 		func(_ context.Context, i int) error {
 			b := benches[i/len(res.Counts)]
 			n := res.Counts[i%len(res.Counts)]
-			cells[i].jp, cells[i].err = measure(b, n, cfg.repeats(), 0, cfg.seed())
+			cells[i].jp, cells[i].err = measure(cfg, b, n, cfg.repeats(), 0)
 			return nil
 		})
 	for bi, b := range benches {

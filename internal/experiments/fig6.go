@@ -52,7 +52,7 @@ func RunFig6(cfg Config) (Fig6Result, error) {
 			if err != nil {
 				return err
 			}
-			jp, err := measure(b, 1, cfg.repeats(), 0, cfg.seed())
+			jp, err := measure(cfg, b, 1, cfg.repeats(), 0)
 			if err != nil {
 				return err
 			}

@@ -66,7 +66,7 @@ func RunFig7(cfg Config) (Fig7Result, error) {
 	err := par.ForEach(context.Background(), cfg.workers(), len(variants),
 		func(_ context.Context, i int) error {
 			b := variants[i]
-			jp, err := measure(b, 1, cfg.repeats(), 0, cfg.seed())
+			jp, err := measure(cfg, b, 1, cfg.repeats(), 0)
 			if err != nil {
 				return err
 			}

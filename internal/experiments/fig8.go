@@ -50,7 +50,7 @@ func RunFig8(cfg Config) (Fig8Result, error) {
 	cells := make([]cell, len(counts))
 	par.ForEach(context.Background(), cfg.workers(), len(counts),
 		func(_ context.Context, i int) error {
-			cells[i].jp, cells[i].err = measure(bench, counts[i], cfg.repeats(), 0, cfg.seed())
+			cells[i].jp, cells[i].err = measure(cfg, bench, counts[i], cfg.repeats(), 0)
 			return nil
 		})
 	var baseRuntime float64

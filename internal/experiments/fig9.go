@@ -47,7 +47,7 @@ func RunFig9(cfg Config) (Fig9Result, error) {
 			if err != nil {
 				return err
 			}
-			jp, err := measure(b, 1, cfg.repeats(), 0, cfg.seed())
+			jp, err := measure(cfg, b, 1, cfg.repeats(), 0)
 			if err != nil {
 				return err
 			}

@@ -37,6 +37,20 @@ func EPYC7763() Spec {
 	}
 }
 
+// Variability holds the per-package manufacturing-spread parameters,
+// carried by the platform and threaded in by the node layer.
+type Variability struct {
+	// IdleSigma is the relative spread of package idle power.
+	IdleSigma float64
+	// EffSigma is the relative spread of dynamic power.
+	EffSigma float64
+}
+
+// DefaultVariability returns the spread used for the paper's fleet.
+func DefaultVariability() Variability {
+	return Variability{IdleSigma: 0.04, EffSigma: 0.02}
+}
+
 // CPU is one processor instance with manufacturing variability.
 type CPU struct {
 	Spec      Spec
@@ -44,12 +58,13 @@ type CPU struct {
 	effScale  float64
 }
 
-// New creates a CPU; pass nil for a nominal device.
-func New(spec Spec, r *rng.Stream) *CPU {
+// New creates a CPU with variability drawn from r using the given
+// spread; pass nil for r for a nominal device.
+func New(spec Spec, r *rng.Stream, v Variability) *CPU {
 	c := &CPU{Spec: spec, idleScale: 1, effScale: 1}
 	if r != nil {
-		c.idleScale = clamp(r.Normal(1, 0.04), 0.88, 1.12)
-		c.effScale = clamp(r.Normal(1, 0.02), 0.94, 1.06)
+		c.idleScale = clamp(r.Normal(1, v.IdleSigma), 0.88, 1.12)
+		c.effScale = clamp(r.Normal(1, v.EffSigma), 0.94, 1.06)
 	}
 	return c
 }

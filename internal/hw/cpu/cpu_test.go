@@ -8,7 +8,7 @@ import (
 )
 
 func TestIdleAndPeakPower(t *testing.T) {
-	c := New(EPYC7763(), nil)
+	c := New(EPYC7763(), nil, DefaultVariability())
 	if got := c.IdlePower(); got != 85 {
 		t.Fatalf("idle = %v, want 85", got)
 	}
@@ -18,7 +18,7 @@ func TestIdleAndPeakPower(t *testing.T) {
 }
 
 func TestPowerMonotoneInUtilization(t *testing.T) {
-	c := New(EPYC7763(), nil)
+	c := New(EPYC7763(), nil, DefaultVariability())
 	prev := -1.0
 	for u := 0.0; u <= 1.0; u += 0.01 {
 		p := c.PowerAt(u)
@@ -30,7 +30,7 @@ func TestPowerMonotoneInUtilization(t *testing.T) {
 }
 
 func TestPowerAtPanicsOutOfRange(t *testing.T) {
-	c := New(EPYC7763(), nil)
+	c := New(EPYC7763(), nil, DefaultVariability())
 	for _, u := range []float64{-0.1, 1.1} {
 		func() {
 			defer func() {
@@ -46,7 +46,7 @@ func TestPowerAtPanicsOutOfRange(t *testing.T) {
 func TestHostOrchestrationPowerLow(t *testing.T) {
 	// While GPUs compute, the host should sit well below half TDP —
 	// the paper reports CPU+memory below 10% of node power (§III-C).
-	c := New(EPYC7763(), nil)
+	c := New(EPYC7763(), nil, DefaultVariability())
 	p := c.HostOrchestrationPower()
 	if p < c.IdlePower() || p > 170 {
 		t.Fatalf("host orchestration power = %v, want in [85, 170]", p)
@@ -54,7 +54,7 @@ func TestHostOrchestrationPowerLow(t *testing.T) {
 }
 
 func TestRunEigensolve(t *testing.T) {
-	c := New(EPYC7763(), nil)
+	c := New(EPYC7763(), nil, DefaultVariability())
 	small := c.Run(EigensolveTask(2000))
 	big := c.Run(EigensolveTask(4000))
 	if big.Duration < 7.5*small.Duration || big.Duration > 8.5*small.Duration {
@@ -66,7 +66,7 @@ func TestRunEigensolve(t *testing.T) {
 }
 
 func TestRunPanicsOnInvalidTask(t *testing.T) {
-	c := New(EPYC7763(), nil)
+	c := New(EPYC7763(), nil, DefaultVariability())
 	defer func() {
 		if recover() == nil {
 			t.Fatal("invalid task did not panic")
@@ -76,14 +76,14 @@ func TestRunPanicsOnInvalidTask(t *testing.T) {
 }
 
 func TestVariabilityDeterministicAndBounded(t *testing.T) {
-	a := New(EPYC7763(), rng.New(3).Split("cpu"))
-	b := New(EPYC7763(), rng.New(3).Split("cpu"))
+	a := New(EPYC7763(), rng.New(3).Split("cpu"), DefaultVariability())
+	b := New(EPYC7763(), rng.New(3).Split("cpu"), DefaultVariability())
 	if a.IdlePower() != b.IdlePower() {
 		t.Fatal("variability not deterministic")
 	}
 	root := rng.New(7)
 	for i := 0; i < 100; i++ {
-		c := New(EPYC7763(), root.Split(string(rune('a'+i%26))+"x"))
+		c := New(EPYC7763(), root.Split(string(rune('a'+i%26))+"x"), DefaultVariability())
 		if c.IdlePower() < 85*0.88-1e-9 || c.IdlePower() > 85*1.12+1e-9 {
 			t.Fatalf("idle variability out of clamp: %v", c.IdlePower())
 		}

@@ -107,6 +107,22 @@ func A100SXM80GB() Spec {
 	return s
 }
 
+// Variability holds the per-device manufacturing-spread parameters.
+// Platforms carry these alongside the architectural spec; the node
+// layer threads them into New.
+type Variability struct {
+	// IdleSigma is the relative spread of static power (idle + base).
+	IdleSigma float64
+	// EffSigma is the relative spread of dynamic-power efficiency.
+	EffSigma float64
+}
+
+// DefaultVariability returns the spread calibrated to the paper's
+// observed device-to-device differences (§III-B.2).
+func DefaultVariability() Variability {
+	return Variability{IdleSigma: 0.03, EffSigma: 0.02}
+}
+
 // Kernel describes one GPU kernel launch (or a fused batch of
 // identical launches) for the roofline model.
 type Kernel struct {
@@ -171,14 +187,15 @@ type GPU struct {
 	effScale   float64 // multiplies dynamic power
 }
 
-// New creates a device with variability drawn from r. Pass nil for a
-// nominal (no-variability) device.
-func New(spec Spec, index int, r *rng.Stream) *GPU {
+// New creates a device with variability drawn from r using the given
+// spread parameters. Pass nil for r for a nominal (no-variability)
+// device.
+func New(spec Spec, index int, r *rng.Stream, v Variability) *GPU {
 	g := &GPU{Spec: spec, Index: index, powerLimit: spec.TDP, clockLimit: 1, idleScale: 1, effScale: 1}
 	if r != nil {
-		// ±3% static and ±2% dynamic spread, clamped to stay physical.
-		g.idleScale = clamp(r.Normal(1, 0.03), 0.9, 1.1)
-		g.effScale = clamp(r.Normal(1, 0.02), 0.94, 1.06)
+		// Static and dynamic spreads, clamped to stay physical.
+		g.idleScale = clamp(r.Normal(1, v.IdleSigma), 0.9, 1.1)
+		g.effScale = clamp(r.Normal(1, v.EffSigma), 0.94, 1.06)
 	}
 	return g
 }
@@ -317,15 +334,18 @@ func (g *GPU) Run(k Kernel) Execution {
 // enforce caps by reacting to measured power; near the 100 W floor the
 // reaction time exceeds kernel burst timescales and sustained power
 // overshoots the setting. The paper observes exactly this: "At this
-// cap [100 W], a larger error is observed" (§V-A, Fig. 10).
-const lowCapThreshold = 150
+// cap [100 W], a larger error is observed" (§V-A, Fig. 10). The
+// threshold scales with the board's settable floor (1.5×100 W = 150 W
+// on the A100), so boards with higher floors misbehave near *their*
+// floor rather than near the A100's.
+func (g *GPU) lowCapThreshold() float64 { return 1.5 * g.Spec.MinPowerLimit }
 
 // effectiveCap returns the power level the control loop actually
 // holds: the nominal limit plus overshoot slack below lowCapThreshold.
 func (g *GPU) effectiveCap() float64 {
 	cap := g.powerLimit
-	if cap < lowCapThreshold {
-		cap += 0.25 * (lowCapThreshold - cap)
+	if t := g.lowCapThreshold(); cap < t {
+		cap += 0.25 * (t - cap)
 	}
 	return cap
 }

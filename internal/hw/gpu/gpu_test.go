@@ -36,7 +36,7 @@ func streamKernel() Kernel {
 	}
 }
 
-func nominal() *GPU { return New(A100SXM40GB(), 0, nil) }
+func nominal() *GPU { return New(A100SXM40GB(), 0, nil, DefaultVariability()) }
 
 func TestDGEMMNearTDP(t *testing.T) {
 	g := nominal()
@@ -209,7 +209,7 @@ func TestRunCapInvariantProperty(t *testing.T) {
 	root := rng.New(2024)
 	for trial := 0; trial < 500; trial++ {
 		r := rng.New(root.Uint64())
-		g := New(A100SXM40GB(), 0, r.Split("gpu"))
+		g := New(A100SXM40GB(), 0, r.Split("gpu"), DefaultVariability())
 		k := Kernel{
 			Name:       "rand",
 			Flops:      r.Float64() * 1e13,
@@ -246,7 +246,7 @@ func TestRunCapInvariantProperty(t *testing.T) {
 func TestVariabilityBounds(t *testing.T) {
 	root := rng.New(5)
 	for i := 0; i < 200; i++ {
-		g := New(A100SXM40GB(), i%4, root.Split("g"+string(rune('a'+i%26))+"x"))
+		g := New(A100SXM40GB(), i%4, root.Split("g"+string(rune('a'+i%26))+"x"), DefaultVariability())
 		idle := g.IdlePower()
 		if idle < 52*0.9-1e-9 || idle > 52*1.1+1e-9 {
 			t.Fatalf("idle power %v outside variability clamp", idle)
@@ -255,8 +255,8 @@ func TestVariabilityBounds(t *testing.T) {
 }
 
 func TestVariabilityIsDeterministic(t *testing.T) {
-	a := New(A100SXM40GB(), 0, rng.New(9).Split("gpu0"))
-	b := New(A100SXM40GB(), 0, rng.New(9).Split("gpu0"))
+	a := New(A100SXM40GB(), 0, rng.New(9).Split("gpu0"), DefaultVariability())
+	b := New(A100SXM40GB(), 0, rng.New(9).Split("gpu0"), DefaultVariability())
 	if a.IdlePower() != b.IdlePower() {
 		t.Fatal("same seed produced different devices")
 	}
@@ -408,8 +408,8 @@ func TestA10080GBVariant(t *testing.T) {
 		t.Fatal("board power envelope should match")
 	}
 	// A bandwidth-bound kernel finishes faster on the 80 GB part.
-	g40 := New(s40, 0, nil)
-	g80 := New(s80, 0, nil)
+	g40 := New(s40, 0, nil, DefaultVariability())
+	g80 := New(s80, 0, nil, DefaultVariability())
 	k := streamKernel()
 	if g80.Run(k).Duration >= g40.Run(k).Duration {
 		t.Fatal("HBM2e should speed up STREAM")

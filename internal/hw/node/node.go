@@ -1,11 +1,14 @@
-// Package node models one Perlmutter GPU node: one EPYC 7763, four
-// A100-40GB GPUs, 256 GB DDR4, and peripherals (Slingshot NICs, fans,
-// VRM losses). The node records synchronized per-component power
-// traces as the workload executes, mirroring the Cray Power Monitoring
-// counters the paper reads (CPU, each GPU, memory, and total node
-// power including peripherals, §II-B).
+// Package node models one GPU compute node of a platform: a host CPU,
+// a platform-determined number of GPUs, DDR memory, and peripherals
+// (NICs, fans, VRM losses). The node records synchronized
+// per-component power traces as the workload executes, mirroring the
+// Cray Power Monitoring counters the paper reads (CPU, each GPU,
+// memory, and total node power including peripherals, §II-B).
 //
-// Published reference points reproduced by the model:
+// Which hardware populates the node comes entirely from the
+// hw/platform layer; this package hard-codes no machine. On the
+// default perlmutter-a100 platform the model reproduces the published
+// reference points:
 //   - node TDP 2350 W = 280 (CPU) + 4×400 (GPUs) + 470 (peripherals,
 //     primarily DDR and NICs);
 //   - idle node power 410–510 W across nodes (manufacturing
@@ -19,54 +22,47 @@ import (
 
 	"vasppower/internal/hw/cpu"
 	"vasppower/internal/hw/gpu"
+	"vasppower/internal/hw/platform"
 	"vasppower/internal/rng"
 	"vasppower/internal/timeseries"
 )
 
-// GPUsPerNode is fixed at 4 for Perlmutter GPU nodes.
-const GPUsPerNode = 4
-
-// Spec holds node-level parameters beyond the component specs.
-type Spec struct {
-	TDP             float64 // 2350 W
-	MemIdleWatts    float64 // DDR4 background (refresh, PHY)
-	MemActiveWatts  float64 // DDR4 under full streaming load
-	PeripheralWatts float64 // NICs + fans + VRM, roughly constant
-}
-
-// PerlmutterGPUNode returns the 40 GB GPU-node spec.
-func PerlmutterGPUNode() Spec {
-	return Spec{
-		TDP:             2350,
-		MemIdleWatts:    22,
-		MemActiveWatts:  52,
-		PeripheralWatts: 150,
-	}
-}
-
 // Node is one node instance. It owns its components and the aligned
 // power traces produced during simulation.
 type Node struct {
-	Name string
-	Spec Spec
-	CPU  *cpu.CPU
-	GPUs [GPUsPerNode]*gpu.GPU
+	Name     string
+	Platform platform.Platform
+	CPU      *cpu.CPU
+	GPUs     []*gpu.GPU
 
 	peripheralWatts float64 // with per-node variability
 	memScale        float64
 
 	cpuTrace  timeseries.Trace
 	memTrace  timeseries.Trace
-	gpuTraces [GPUsPerNode]timeseries.Trace
+	gpuTraces []timeseries.Trace
 }
 
-// New builds a node. r seeds per-node manufacturing variability; nil
-// gives a nominal node. Component variability is derived from labeled
-// substreams so node identity fully determines device behavior.
-func New(name string, spec Spec, r *rng.Stream) *Node {
-	n := &Node{Name: name, Spec: spec, peripheralWatts: spec.PeripheralWatts, memScale: 1}
+// New builds a node of the given platform. r seeds per-node
+// manufacturing variability; nil gives a nominal node. Component
+// variability is derived from labeled substreams so node identity
+// fully determines device behavior.
+func New(name string, p platform.Platform, r *rng.Stream) *Node {
+	p = platform.OrDefault(p)
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	n := &Node{
+		Name:            name,
+		Platform:        p,
+		GPUs:            make([]*gpu.GPU, p.GPUsPerNode),
+		peripheralWatts: p.Node.PeripheralWatts,
+		memScale:        1,
+		gpuTraces:       make([]timeseries.Trace, p.GPUsPerNode),
+	}
+	v := p.Variability
 	var cpuR, memR *rng.Stream
-	var gpuR [GPUsPerNode]*rng.Stream
+	gpuR := make([]*rng.Stream, p.GPUsPerNode)
 	if r != nil {
 		cpuR = r.Split("cpu")
 		memR = r.Split("mem")
@@ -77,13 +73,13 @@ func New(name string, spec Spec, r *rng.Stream) *Node {
 		// VRM efficiency): ±25% spread drives the paper's 410–510 W
 		// idle range together with component spreads.
 		pr := r.Split("peripherals")
-		n.peripheralWatts = clamp(pr.Normal(spec.PeripheralWatts, 18),
-			spec.PeripheralWatts*0.75, spec.PeripheralWatts*1.25)
-		n.memScale = clamp(memR.Normal(1, 0.05), 0.85, 1.15)
+		n.peripheralWatts = clamp(pr.Normal(p.Node.PeripheralWatts, v.PeripheralSigmaW),
+			p.Node.PeripheralWatts*0.75, p.Node.PeripheralWatts*1.25)
+		n.memScale = clamp(memR.Normal(1, v.MemSigma), 0.85, 1.15)
 	}
-	n.CPU = cpu.New(cpu.EPYC7763(), cpuR)
-	for i := 0; i < GPUsPerNode; i++ {
-		n.GPUs[i] = gpu.New(gpu.A100SXM40GB(), i, gpuR[i])
+	n.CPU = cpu.New(p.CPU, cpuR, v.CPU)
+	for i := range n.GPUs {
+		n.GPUs[i] = gpu.New(p.GPU, i, gpuR[i], v.GPU)
 	}
 	return n
 }
@@ -98,11 +94,14 @@ func clamp(x, lo, hi float64) float64 {
 	return x
 }
 
+// NumGPUs returns how many GPUs the node carries.
+func (n *Node) NumGPUs() int { return len(n.GPUs) }
+
 // MemIdlePower returns the DDR background power with variability.
-func (n *Node) MemIdlePower() float64 { return n.Spec.MemIdleWatts * n.memScale }
+func (n *Node) MemIdlePower() float64 { return n.Platform.Node.MemIdleWatts * n.memScale }
 
 // MemActivePower returns the DDR power under load with variability.
-func (n *Node) MemActivePower() float64 { return n.Spec.MemActiveWatts * n.memScale }
+func (n *Node) MemActivePower() float64 { return n.Platform.Node.MemActiveWatts * n.memScale }
 
 // PeripheralPower returns this node's (constant) peripheral draw.
 func (n *Node) PeripheralPower() float64 { return n.peripheralWatts }
@@ -117,16 +116,20 @@ func (n *Node) IdlePower() float64 {
 }
 
 // ComponentPowers is a snapshot of per-component power for one
-// recorded segment.
+// recorded segment. GPUs has one entry per device on the node.
 type ComponentPowers struct {
 	CPU  float64
 	Mem  float64
-	GPUs [GPUsPerNode]float64
+	GPUs []float64
 }
 
 // Idle returns the node's idle component powers.
 func (n *Node) Idle() ComponentPowers {
-	cp := ComponentPowers{CPU: n.CPU.IdlePower(), Mem: n.MemIdlePower()}
+	cp := ComponentPowers{
+		CPU:  n.CPU.IdlePower(),
+		Mem:  n.MemIdlePower(),
+		GPUs: make([]float64, len(n.GPUs)),
+	}
 	for i, g := range n.GPUs {
 		cp.GPUs[i] = g.IdlePower()
 	}
@@ -139,6 +142,10 @@ func (n *Node) Idle() ComponentPowers {
 func (n *Node) Record(dur float64, p ComponentPowers) {
 	if dur < 0 {
 		panic("node: negative record duration")
+	}
+	if len(p.GPUs) != len(n.gpuTraces) {
+		panic(fmt.Sprintf("node: recording %d GPU powers on a %d-GPU node",
+			len(p.GPUs), len(n.gpuTraces)))
 	}
 	if dur == 0 {
 		return
@@ -162,16 +169,23 @@ func (n *Node) MemTrace() *timeseries.Trace { return &n.memTrace }
 // GPUTrace returns GPU i's power trace.
 func (n *Node) GPUTrace(i int) *timeseries.Trace { return &n.gpuTraces[i] }
 
-// GPUSumTrace returns the pointwise sum of the four GPU traces.
+// GPUSumTrace returns the pointwise sum of all GPU traces.
 func (n *Node) GPUSumTrace() *timeseries.Trace {
-	return timeseries.Sum(&n.gpuTraces[0], &n.gpuTraces[1], &n.gpuTraces[2], &n.gpuTraces[3])
+	traces := make([]*timeseries.Trace, len(n.gpuTraces))
+	for i := range n.gpuTraces {
+		traces[i] = &n.gpuTraces[i]
+	}
+	return timeseries.Sum(traces...)
 }
 
 // TotalTrace returns the node power trace: all components plus the
 // constant peripheral draw. This is what the node-level sensor reads.
 func (n *Node) TotalTrace() *timeseries.Trace {
-	components := timeseries.Sum(&n.cpuTrace, &n.memTrace,
-		&n.gpuTraces[0], &n.gpuTraces[1], &n.gpuTraces[2], &n.gpuTraces[3])
+	traces := []*timeseries.Trace{&n.cpuTrace, &n.memTrace}
+	for i := range n.gpuTraces {
+		traces = append(traces, &n.gpuTraces[i])
+	}
+	components := timeseries.Sum(traces...)
 	out := &timeseries.Trace{}
 	for _, s := range components.Segments() {
 		out.Append(s.Dur, s.Power+n.peripheralWatts)
@@ -193,8 +207,8 @@ func (n *Node) ResetTraces() {
 	}
 }
 
-// SetGPUPowerLimits applies the same cap to all four GPUs, returning
-// the first error.
+// SetGPUPowerLimits applies the same cap to all GPUs, returning the
+// first error.
 func (n *Node) SetGPUPowerLimits(w float64) error {
 	for _, g := range n.GPUs {
 		if err := g.SetPowerLimit(w); err != nil {
@@ -211,8 +225,8 @@ func (n *Node) ResetGPUPowerLimits() {
 	}
 }
 
-// SetGPUClockLimits locks the same maximum SM clock on all four GPUs
-// (the DVFS alternative to power capping), returning the first error.
+// SetGPUClockLimits locks the same maximum SM clock on all GPUs (the
+// DVFS alternative to power capping), returning the first error.
 func (n *Node) SetGPUClockLimits(mhz float64) error {
 	for _, g := range n.GPUs {
 		if err := g.SetClockLimitMHz(mhz); err != nil {

@@ -5,22 +5,29 @@ import (
 	"math"
 	"testing"
 
+	"vasppower/internal/hw/platform"
 	"vasppower/internal/rng"
 )
 
-func TestNodeTDPBudget(t *testing.T) {
-	spec := PerlmutterGPUNode()
-	if spec.TDP != 2350 {
-		t.Fatalf("node TDP = %v, want 2350", spec.TDP)
+func TestNodeMatchesPlatform(t *testing.T) {
+	p := platform.Default()
+	if p.Node.TDP != 2350 {
+		t.Fatalf("node TDP = %v, want 2350", p.Node.TDP)
 	}
-	n := New("nid001", spec, nil)
-	// Component TDPs must fit the node budget: 280 + 4×400 + periph.
-	sum := n.CPU.Spec.TDP + n.Spec.MemActiveWatts + n.Spec.PeripheralWatts
-	for _, g := range n.GPUs {
-		sum += g.Spec.TDP
+	n := New("nid001", p, nil)
+	if n.NumGPUs() != p.GPUsPerNode {
+		t.Fatalf("NumGPUs = %d, want %d", n.NumGPUs(), p.GPUsPerNode)
 	}
-	if sum > spec.TDP {
-		t.Fatalf("component TDPs (%v) exceed node TDP (%v)", sum, spec.TDP)
+	if n.CPU.Spec.Name != p.CPU.Name || n.GPUs[0].Spec.Name != p.GPU.Name {
+		t.Fatalf("node components %s/%s do not match platform %s/%s",
+			n.CPU.Spec.Name, n.GPUs[0].Spec.Name, p.CPU.Name, p.GPU.Name)
+	}
+}
+
+func TestNodeZeroPlatformDefaults(t *testing.T) {
+	n := New("nid001", platform.Platform{}, nil)
+	if n.Platform.Name != platform.DefaultName {
+		t.Fatalf("zero platform resolved to %q, want %q", n.Platform.Name, platform.DefaultName)
 	}
 }
 
@@ -31,7 +38,7 @@ func TestIdlePowerInPublishedRange(t *testing.T) {
 	root := rng.New(1)
 	var lo, hi float64 = math.Inf(1), math.Inf(-1)
 	for i := 0; i < 64; i++ {
-		n := New(fmt.Sprintf("nid%03d", i), PerlmutterGPUNode(), root.Split(fmt.Sprintf("nid%03d", i)))
+		n := New(fmt.Sprintf("nid%03d", i), platform.Default(), root.Split(fmt.Sprintf("nid%03d", i)))
 		p := n.IdlePower()
 		if p < 390 || p > 530 {
 			t.Fatalf("node %d idle power %v outside plausible range", i, p)
@@ -48,24 +55,24 @@ func TestIdlePowerInPublishedRange(t *testing.T) {
 }
 
 func TestNodeVariabilityDeterministic(t *testing.T) {
-	a := New("nid007", PerlmutterGPUNode(), rng.New(9).Split("nid007"))
-	b := New("nid007", PerlmutterGPUNode(), rng.New(9).Split("nid007"))
+	a := New("nid007", platform.Default(), rng.New(9).Split("nid007"))
+	b := New("nid007", platform.Default(), rng.New(9).Split("nid007"))
 	if a.IdlePower() != b.IdlePower() {
 		t.Fatal("same node identity produced different idle power")
 	}
 }
 
 func TestRecordAlignsTraces(t *testing.T) {
-	n := New("nid001", PerlmutterGPUNode(), nil)
+	n := New("nid001", platform.Default(), nil)
 	p := n.Idle()
 	n.Record(5, p)
 	p.CPU = 200
-	p.GPUs = [4]float64{350, 350, 350, 350}
+	p.GPUs = []float64{350, 350, 350, 350}
 	n.Record(10, p)
 	if d := n.TraceDuration(); d != 15 {
 		t.Fatalf("trace duration = %v, want 15", d)
 	}
-	for i := 0; i < GPUsPerNode; i++ {
+	for i := 0; i < n.NumGPUs(); i++ {
 		if n.GPUTrace(i).Duration() != 15 {
 			t.Fatalf("gpu %d trace misaligned", i)
 		}
@@ -76,11 +83,11 @@ func TestRecordAlignsTraces(t *testing.T) {
 }
 
 func TestTotalTraceIncludesPeripherals(t *testing.T) {
-	n := New("nid001", PerlmutterGPUNode(), nil)
+	n := New("nid001", platform.Default(), nil)
 	n.RecordIdle(10)
 	total := n.TotalTrace()
 	components := n.CPUTrace().PowerAt(5) + n.MemTrace().PowerAt(5)
-	for i := 0; i < GPUsPerNode; i++ {
+	for i := 0; i < n.NumGPUs(); i++ {
 		components += n.GPUTrace(i).PowerAt(5)
 	}
 	gap := total.PowerAt(5) - components
@@ -93,7 +100,7 @@ func TestTotalTraceIncludesPeripherals(t *testing.T) {
 }
 
 func TestGPUSumTrace(t *testing.T) {
-	n := New("nid001", PerlmutterGPUNode(), nil)
+	n := New("nid001", platform.Default(), nil)
 	p := n.Idle()
 	for i := range p.GPUs {
 		p.GPUs[i] = 100 * float64(i+1)
@@ -106,7 +113,7 @@ func TestGPUSumTrace(t *testing.T) {
 }
 
 func TestResetTraces(t *testing.T) {
-	n := New("nid001", PerlmutterGPUNode(), nil)
+	n := New("nid001", platform.Default(), nil)
 	n.RecordIdle(5)
 	_ = n.SetGPUPowerLimits(200)
 	n.ResetTraces()
@@ -120,7 +127,7 @@ func TestResetTraces(t *testing.T) {
 }
 
 func TestSetGPUPowerLimits(t *testing.T) {
-	n := New("nid001", PerlmutterGPUNode(), nil)
+	n := New("nid001", platform.Default(), nil)
 	if err := n.SetGPUPowerLimits(300); err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +146,7 @@ func TestSetGPUPowerLimits(t *testing.T) {
 }
 
 func TestRecordNegativePanics(t *testing.T) {
-	n := New("nid001", PerlmutterGPUNode(), nil)
+	n := New("nid001", platform.Default(), nil)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("negative duration did not panic")
@@ -149,7 +156,7 @@ func TestRecordNegativePanics(t *testing.T) {
 }
 
 func TestRecordZeroIgnored(t *testing.T) {
-	n := New("nid001", PerlmutterGPUNode(), nil)
+	n := New("nid001", platform.Default(), nil)
 	n.Record(0, n.Idle())
 	if n.TraceDuration() != 0 {
 		t.Fatal("zero-duration record stored")
@@ -157,7 +164,7 @@ func TestRecordZeroIgnored(t *testing.T) {
 }
 
 func TestSetGPUClockLimits(t *testing.T) {
-	n := New("nid001", PerlmutterGPUNode(), nil)
+	n := New("nid001", platform.Default(), nil)
 	if err := n.SetGPUClockLimits(1200); err != nil {
 		t.Fatal(err)
 	}

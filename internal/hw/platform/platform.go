@@ -1,0 +1,198 @@
+// Package platform assembles complete hardware platforms — GPU spec,
+// CPU spec, node-level power parameters, GPU count per node, and
+// manufacturing-variability parameters — and names them in a registry.
+// It is the single place in the codebase where a machine is described;
+// every other layer (node construction, the measurement pipeline, the
+// experiment runners, the CLI) consumes a Platform value and stays
+// agnostic about which machine it models.
+//
+// The default platform, "perlmutter-a100", is the machine the paper
+// characterizes: Perlmutter GPU nodes with one EPYC 7763 "Milan" and
+// four A100-SXM4-40GB (node TDP 2350 W, §II-A). Every other
+// registered platform is an extrapolation: shape-faithful (roofline,
+// DVFS curve, power split between SMs and HBM) but not calibrated
+// against published measurements.
+package platform
+
+import (
+	"fmt"
+
+	"vasppower/internal/hw/cpu"
+	"vasppower/internal/hw/gpu"
+)
+
+// NodeSpec holds node-level power parameters beyond the component
+// specs: the facility-facing node TDP and the draws of the parts that
+// are not individually metered (DDR, NICs, fans, VRM losses).
+type NodeSpec struct {
+	TDP             float64 // node power budget, W
+	MemIdleWatts    float64 // DDR background (refresh, PHY)
+	MemActiveWatts  float64 // DDR under full streaming load
+	PeripheralWatts float64 // NICs + fans + VRM, roughly constant
+}
+
+// Variability bundles the manufacturing-spread parameters the paper
+// observes across nominally identical nodes (§III-B.2: up to 100 W
+// idle spread, visible differences between identical DGEMM runs).
+type Variability struct {
+	GPU gpu.Variability
+	CPU cpu.Variability
+	// MemSigma is the relative spread of DDR power between nodes.
+	MemSigma float64
+	// PeripheralSigmaW is the absolute spread (W) of the peripheral
+	// draw — fan curves and VRM efficiency vary the most.
+	PeripheralSigmaW float64
+}
+
+// DefaultVariability returns the spread calibrated to reproduce the
+// paper's 410–510 W idle range on the Perlmutter platform.
+func DefaultVariability() Variability {
+	return Variability{
+		GPU:              gpu.DefaultVariability(),
+		CPU:              cpu.DefaultVariability(),
+		MemSigma:         0.05,
+		PeripheralSigmaW: 18,
+	}
+}
+
+// Platform is one fully-described machine model.
+type Platform struct {
+	// Name keys the registry ("perlmutter-a100").
+	Name string
+	// Description is a one-line human-readable summary.
+	Description string
+	// Calibrated is true only for the platform the paper measured;
+	// everything else is a shape-faithful extrapolation.
+	Calibrated bool
+
+	GPU         gpu.Spec
+	CPU         cpu.Spec
+	Node        NodeSpec
+	GPUsPerNode int
+	Variability Variability
+}
+
+// Validate checks internal consistency: non-empty identity, at least
+// one GPU, and the TDP budget invariant — the component TDPs (CPU,
+// all GPUs, DDR under load, peripherals) must fit inside the node
+// budget, as they do on the real machine (280 + 4×400 + 470 ≤ 2350).
+func (p Platform) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("platform: empty name")
+	}
+	if p.GPUsPerNode <= 0 {
+		return fmt.Errorf("platform %s: %d GPUs per node", p.Name, p.GPUsPerNode)
+	}
+	if p.GPU.TDP <= 0 || p.CPU.TDP <= 0 || p.Node.TDP <= 0 {
+		return fmt.Errorf("platform %s: non-positive TDP", p.Name)
+	}
+	if sum := p.ComponentTDP(); sum > p.Node.TDP {
+		return fmt.Errorf("platform %s: component TDPs (%.0f W) exceed node TDP (%.0f W)",
+			p.Name, sum, p.Node.TDP)
+	}
+	if p.GPU.MinPowerLimit <= 0 || p.GPU.MinPowerLimit > p.GPU.TDP {
+		return fmt.Errorf("platform %s: GPU power-limit range [%.0f, %.0f] invalid",
+			p.Name, p.GPU.MinPowerLimit, p.GPU.TDP)
+	}
+	return nil
+}
+
+// ComponentTDP returns the summed worst-case component draw: CPU TDP,
+// every GPU at TDP, DDR fully active, and the peripheral draw.
+func (p Platform) ComponentTDP() float64 {
+	return p.CPU.TDP + float64(p.GPUsPerNode)*p.GPU.TDP +
+		p.Node.MemActiveWatts + p.Node.PeripheralWatts
+}
+
+// PerlmutterA100 returns the studied platform: the 40 GB GPU nodes of
+// Perlmutter ("This work uses only the 40 GB GPU-accelerated nodes",
+// §II-A). This is the only calibrated platform; its numbers reproduce
+// the paper's published reference points.
+func PerlmutterA100() Platform {
+	return Platform{
+		Name:        "perlmutter-a100",
+		Description: "Perlmutter GPU node: EPYC 7763 + 4x A100-SXM4-40GB, node TDP 2350 W (the paper's platform)",
+		Calibrated:  true,
+		GPU:         gpu.A100SXM40GB(),
+		CPU:         cpu.EPYC7763(),
+		Node: NodeSpec{
+			TDP:             2350,
+			MemIdleWatts:    22,
+			MemActiveWatts:  52,
+			PeripheralWatts: 150,
+		},
+		GPUsPerNode: 4,
+		Variability: DefaultVariability(),
+	}
+}
+
+// A10080GB500W returns an extrapolated platform built around the
+// 500 W SXM variant of the 80 GB A100 (the envelope NVIDIA ships in
+// HGX "Delta" boards): same silicon as the studied part, HBM2e
+// bandwidth and capacity, and a raised power ceiling that lets the SMs
+// hold boost clocks a 400 W board must back off from.
+func A10080GB500W() Platform {
+	g := gpu.A100SXM80GB()
+	g.Name = "A100-SXM4-80GB-500W"
+	g.TDP = 500
+	// The extra 100 W of envelope is SM headroom; HBM power is set by
+	// the memory system, not the limit.
+	g.CompPowerFull = 390
+	g.IdleWatts = 56
+	return Platform{
+		Name:        "a100-80gb-500w",
+		Description: "extrapolated HGX node: EPYC 7763 + 4x A100-SXM4-80GB at the 500 W envelope",
+		GPU:         g,
+		CPU:         cpu.EPYC7763(),
+		Node: NodeSpec{
+			TDP:             2800, // 280 + 4x500 + DDR/peripheral margin
+			MemIdleWatts:    22,
+			MemActiveWatts:  52,
+			PeripheralWatts: 160,
+		},
+		GPUsPerNode: 4,
+		Variability: DefaultVariability(),
+	}
+}
+
+// H100SXM returns an extrapolated Hopper platform: FP64 tensor peak,
+// HBM3 bandwidth, clocks, and the 700 W envelope scaled from NVIDIA's
+// published H100-SXM5 numbers, with the power split between SMs and
+// memory kept shape-faithful to the A100 calibration. The host is a
+// Genoa-class EPYC. Not calibrated against measurements.
+func H100SXM() Platform {
+	return Platform{
+		Name:        "h100-sxm",
+		Description: "extrapolated Hopper node: EPYC 9454 + 4x H100-SXM5-80GB, 700 W boards",
+		GPU: gpu.Spec{
+			Name:          "H100-SXM5-80GB",
+			TDP:           700,
+			MinPowerLimit: 200, // nvidia-smi floor on SXM5 boards
+			IdleWatts:     70,
+			ActiveBase:    38,
+			PeakFlops:     67e12, // FP64 via tensor cores
+			PeakMemBW:     3.35e12,
+			HBMBytes:      80 << 30,
+			MaxClockMHz:   1980,
+			MinClockFrac:  345.0 / 1980.0,
+			CompPowerFull: 555,
+			MemPowerFull:  145,
+			Gamma:         0.18, // Hopper idles higher on the DVFS curve
+		},
+		CPU: cpu.Spec{
+			Name:      "EPYC-9454",
+			TDP:       290,
+			IdleWatts: 90,
+			Cores:     48,
+			PeakFlops: 4.2e12, // 48 cores x 2.75 GHz x AVX-512 FMA
+		},
+		Node: NodeSpec{
+			TDP:             3650, // 290 + 4x700 + DDR5/peripheral margin
+			MemIdleWatts:    30,
+			MemActiveWatts:  70,
+			PeripheralWatts: 200,
+		},
+		GPUsPerNode: 4,
+		Variability: DefaultVariability(),
+	}
+}

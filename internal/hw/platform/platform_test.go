@@ -1,0 +1,135 @@
+package platform
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestDefaultIsThePaperPlatform(t *testing.T) {
+	p := Default()
+	if p.Name != DefaultName {
+		t.Fatalf("default platform is %q, want %q", p.Name, DefaultName)
+	}
+	if !p.Calibrated {
+		t.Fatal("the default platform must be the calibrated one")
+	}
+	// The paper's reference numbers (§II-A).
+	if p.Node.TDP != 2350 || p.GPU.TDP != 400 || p.GPUsPerNode != 4 {
+		t.Fatalf("perlmutter-a100 numbers drifted: %+v", p)
+	}
+}
+
+func TestGetUnknownNameListsRegistered(t *testing.T) {
+	_, err := Get("dgx-gh200")
+	if err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+	// The error must be self-explaining: it names the typo and lists
+	// every registered platform.
+	msg := err.Error()
+	if !strings.Contains(msg, "dgx-gh200") {
+		t.Fatalf("error does not echo the requested name: %v", err)
+	}
+	for _, name := range List() {
+		if !strings.Contains(msg, name) {
+			t.Fatalf("error does not list registered platform %s: %v", name, err)
+		}
+	}
+}
+
+func TestListSortedAndDeterministic(t *testing.T) {
+	names := List()
+	if len(names) < 3 {
+		t.Fatalf("expected at least 3 registered platforms, got %v", names)
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("List() not sorted: %v", names)
+	}
+	for i := 0; i < 10; i++ {
+		again := List()
+		if len(again) != len(names) {
+			t.Fatal("List() length unstable")
+		}
+		for k := range names {
+			if again[k] != names[k] {
+				t.Fatalf("List() order unstable: %v vs %v", names, again)
+			}
+		}
+	}
+}
+
+func TestEveryRegisteredPlatformHoldsTDPBudget(t *testing.T) {
+	for _, name := range List() {
+		p, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// The budget invariant, stated directly: worst-case component
+		// draw fits inside the facility-facing node TDP.
+		if sum := p.ComponentTDP(); sum > p.Node.TDP {
+			t.Fatalf("%s: component TDPs %.0f W exceed node TDP %.0f W", name, sum, p.Node.TDP)
+		}
+		// And the cap sweep must have room to move: the settable floor
+		// sits strictly below the TDP on every platform.
+		if p.GPU.MinPowerLimit >= p.GPU.TDP {
+			t.Fatalf("%s: power-limit floor %.0f W at or above TDP %.0f W",
+				name, p.GPU.MinPowerLimit, p.GPU.TDP)
+		}
+	}
+}
+
+func TestExactlyOneCalibratedPlatform(t *testing.T) {
+	n := 0
+	for _, name := range List() {
+		p, _ := Get(name)
+		if p.Calibrated {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("%d calibrated platforms; only the measured machine may claim calibration", n)
+	}
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	if err := Register(PerlmutterA100()); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+}
+
+func TestRegisterRejectsInvalid(t *testing.T) {
+	cases := map[string]func(p Platform) Platform{
+		"empty name":       func(p Platform) Platform { p.Name = ""; return p },
+		"zero gpus":        func(p Platform) Platform { p.GPUsPerNode = 0; return p },
+		"no node tdp":      func(p Platform) Platform { p.Node.TDP = 0; return p },
+		"budget violation": func(p Platform) Platform { p.Node.TDP = 1000; return p },
+		"floor above tdp":  func(p Platform) Platform { p.GPU.MinPowerLimit = p.GPU.TDP + 1; return p },
+	}
+	for label, mutate := range cases {
+		p := mutate(PerlmutterA100())
+		p.Name += "-" + strings.ReplaceAll(label, " ", "-") // avoid duplicate-name rejection masking the real check
+		if label == "empty name" {
+			p.Name = ""
+		}
+		if err := Register(p); err == nil {
+			t.Fatalf("%s: invalid platform accepted", label)
+		}
+	}
+}
+
+func TestOrDefault(t *testing.T) {
+	if got := OrDefault(Platform{}); got.Name != DefaultName {
+		t.Fatalf("zero value resolved to %q", got.Name)
+	}
+	h, err := Get("h100-sxm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := OrDefault(h); got.Name != "h100-sxm" {
+		t.Fatalf("explicit platform overridden to %q", got.Name)
+	}
+}

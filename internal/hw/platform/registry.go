@@ -1,0 +1,86 @@
+package platform
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// DefaultName is the platform the paper measured; it is what every
+// layer falls back to when no platform is specified.
+const DefaultName = "perlmutter-a100"
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Platform{}
+)
+
+func init() {
+	for _, p := range []Platform{PerlmutterA100(), A10080GB500W(), H100SXM()} {
+		if err := Register(p); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// Register validates and adds a platform to the registry. Duplicate
+// names are rejected — a platform's numbers must have one owner.
+func Register(p Platform) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[p.Name]; dup {
+		return fmt.Errorf("platform: %q already registered", p.Name)
+	}
+	registry[p.Name] = p
+	return nil
+}
+
+// Get returns the platform registered under name. The error lists the
+// registered names, so a mistyped -platform flag is self-explaining.
+func Get(name string) (Platform, error) {
+	regMu.RLock()
+	p, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return Platform{}, fmt.Errorf("platform: unknown platform %q (registered: %s)",
+			name, strings.Join(List(), ", "))
+	}
+	return p, nil
+}
+
+// Default returns the paper's platform, perlmutter-a100.
+func Default() Platform {
+	p, err := Get(DefaultName)
+	if err != nil {
+		panic(err) // the default is registered in init
+	}
+	return p
+}
+
+// List returns the registered platform names in sorted order, so help
+// text and CI matrices are deterministic.
+func List() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// OrDefault resolves a possibly-zero Platform value: specs whose
+// platform field was left unset get the default machine. It lets
+// option structs (RunSpec, MeasureSpec) treat the platform like every
+// other defaulted field.
+func OrDefault(p Platform) Platform {
+	if p.Name == "" {
+		return Default()
+	}
+	return p
+}

@@ -79,14 +79,19 @@ const (
 	MetricGPU3   = "gpu3"
 )
 
-// Metrics lists all per-node metric names.
-func Metrics() []string {
-	return []string{MetricNode, MetricCPU, MetricMemory, MetricGPU0, MetricGPU1, MetricGPU2, MetricGPU3}
+// Metrics lists all per-node metric names for a node carrying the
+// given number of GPUs.
+func Metrics(gpus int) []string {
+	out := []string{MetricNode, MetricCPU, MetricMemory}
+	for i := 0; i < gpus; i++ {
+		out = append(out, GPUMetric(i))
+	}
+	return out
 }
 
 // GPUMetric returns the metric name for GPU i.
 func GPUMetric(i int) string {
-	if i < 0 || i >= node.GPUsPerNode {
+	if i < 0 {
 		panic(fmt.Sprintf("monitor: gpu index %d", i))
 	}
 	return fmt.Sprintf("gpu%d", i)
@@ -100,13 +105,13 @@ func SampleNode(n *node.Node, cfg Config) (map[string]timeseries.Series, error) 
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	out := make(map[string]timeseries.Series, 7)
+	out := make(map[string]timeseries.Series, 3+n.NumGPUs())
 	traces := map[string]*timeseries.Trace{
 		MetricNode:   n.TotalTrace(),
 		MetricCPU:    n.CPUTrace(),
 		MetricMemory: n.MemTrace(),
 	}
-	for i := 0; i < node.GPUsPerNode; i++ {
+	for i := 0; i < n.NumGPUs(); i++ {
 		traces[GPUMetric(i)] = n.GPUTrace(i)
 	}
 	root := rng.New(cfg.Seed).Split(n.Name)

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"vasppower/internal/hw/node"
+	"vasppower/internal/hw/platform"
 	"vasppower/internal/rng"
 	"vasppower/internal/timeseries"
 )
@@ -106,16 +107,16 @@ func TestSampleInvalidConfig(t *testing.T) {
 }
 
 func TestSampleNode(t *testing.T) {
-	n := node.New("nid000001", node.PerlmutterGPUNode(), rng.New(1).Split("n"))
+	n := node.New("nid000001", platform.Default(), rng.New(1).Split("n"))
 	n.RecordIdle(50)
 	out, err := SampleNode(n, Config{Interval: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(out) != 7 {
-		t.Fatalf("expected 7 metrics, got %d", len(out))
+	if len(out) != 3+n.NumGPUs() {
+		t.Fatalf("expected %d metrics, got %d", 3+n.NumGPUs(), len(out))
 	}
-	for _, m := range Metrics() {
+	for _, m := range Metrics(n.NumGPUs()) {
 		s, ok := out[m]
 		if !ok {
 			t.Fatalf("metric %s missing", m)
@@ -131,7 +132,7 @@ func TestSampleNode(t *testing.T) {
 }
 
 func TestSampleNodeDropsDiffer(t *testing.T) {
-	n := node.New("nid000001", node.PerlmutterGPUNode(), nil)
+	n := node.New("nid000001", platform.Default(), nil)
 	n.RecordIdle(2000)
 	out, err := SampleNode(n, LDMSDefault())
 	if err != nil {
@@ -162,7 +163,7 @@ func TestGPUMetric(t *testing.T) {
 			t.Fatal("bad index did not panic")
 		}
 	}()
-	GPUMetric(4)
+	GPUMetric(-1)
 }
 
 func TestSampleEmptyTrace(t *testing.T) {
@@ -176,7 +177,7 @@ func TestSampleEmptyTrace(t *testing.T) {
 }
 
 func TestSampleNodeInvalidConfig(t *testing.T) {
-	n := node.New("nid1", node.PerlmutterGPUNode(), nil)
+	n := node.New("nid1", platform.Default(), nil)
 	if _, err := SampleNode(n, Config{}); err == nil {
 		t.Fatal("invalid config accepted")
 	}

@@ -1,7 +1,8 @@
 // Package nvsmi models the management interface the paper uses to set
 // GPU power limits (nvidia-smi -pl, §V): per-host, per-device limit
-// setting with the A100's [100, 400] W validity range, queries, and
-// reset — the control surface a power-aware scheduler drives.
+// setting with the platform GPU's validity range (the A100's
+// [100, 400] W on the default platform), queries, and reset — the
+// control surface a power-aware scheduler drives.
 package nvsmi
 
 import (
@@ -73,7 +74,7 @@ func (s *Interface) SetPowerLimit(host string, gpuIndex int, watts float64) erro
 	if gpuIndex == AllGPUs {
 		return n.SetGPUPowerLimits(watts)
 	}
-	if gpuIndex < 0 || gpuIndex >= node.GPUsPerNode {
+	if gpuIndex < 0 || gpuIndex >= n.NumGPUs() {
 		return fmt.Errorf("nvsmi: gpu index %d out of range", gpuIndex)
 	}
 	return n.GPUs[gpuIndex].SetPowerLimit(watts)
@@ -89,7 +90,7 @@ func (s *Interface) ResetPowerLimit(host string, gpuIndex int) error {
 		n.ResetGPUPowerLimits()
 		return nil
 	}
-	if gpuIndex < 0 || gpuIndex >= node.GPUsPerNode {
+	if gpuIndex < 0 || gpuIndex >= n.NumGPUs() {
 		return fmt.Errorf("nvsmi: gpu index %d out of range", gpuIndex)
 	}
 	n.GPUs[gpuIndex].ResetPowerLimit()
@@ -112,7 +113,7 @@ func (s *Interface) Query(host string) ([]GPUInfo, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]GPUInfo, node.GPUsPerNode)
+	out := make([]GPUInfo, n.NumGPUs())
 	for i, g := range n.GPUs {
 		out[i] = GPUInfo{
 			Index:       i,
@@ -137,7 +138,7 @@ func (s *Interface) SetClockLimit(host string, gpuIndex int, mhz float64) error 
 	if gpuIndex == AllGPUs {
 		return n.SetGPUClockLimits(mhz)
 	}
-	if gpuIndex < 0 || gpuIndex >= node.GPUsPerNode {
+	if gpuIndex < 0 || gpuIndex >= n.NumGPUs() {
 		return fmt.Errorf("nvsmi: gpu index %d out of range", gpuIndex)
 	}
 	return n.GPUs[gpuIndex].SetClockLimitMHz(mhz)
@@ -153,7 +154,7 @@ func (s *Interface) ResetClockLimit(host string, gpuIndex int) error {
 		n.ResetGPUClockLimits()
 		return nil
 	}
-	if gpuIndex < 0 || gpuIndex >= node.GPUsPerNode {
+	if gpuIndex < 0 || gpuIndex >= n.NumGPUs() {
 		return fmt.Errorf("nvsmi: gpu index %d out of range", gpuIndex)
 	}
 	n.GPUs[gpuIndex].ResetClockLimit()

@@ -4,12 +4,13 @@ import (
 	"testing"
 
 	"vasppower/internal/hw/node"
+	"vasppower/internal/hw/platform"
 )
 
 func testIface(t *testing.T) (*Interface, *node.Node) {
 	t.Helper()
 	s := New()
-	n := node.New("nid000001", node.PerlmutterGPUNode(), nil)
+	n := node.New("nid000001", platform.Default(), nil)
 	if err := s.Register(n); err != nil {
 		t.Fatal(err)
 	}
@@ -21,7 +22,7 @@ func TestRegisterValidation(t *testing.T) {
 	if err := s.Register(nil); err == nil {
 		t.Fatal("nil node accepted")
 	}
-	n := node.New("nid1", node.PerlmutterGPUNode(), nil)
+	n := node.New("nid1", platform.Default(), nil)
 	if err := s.Register(n); err != nil {
 		t.Fatal(err)
 	}
@@ -99,13 +100,13 @@ func TestResetPowerLimit(t *testing.T) {
 }
 
 func TestQuery(t *testing.T) {
-	s, _ := testIface(t)
+	s, n := testIface(t)
 	_ = s.SetPowerLimit("nid000001", 3, 150)
 	info, err := s.Query("nid000001")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(info) != node.GPUsPerNode {
+	if len(info) != n.NumGPUs() {
 		t.Fatalf("info rows = %d", len(info))
 	}
 	if info[3].PowerLimitW != 150 || info[0].PowerLimitW != 400 {

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"vasppower/internal/core"
+	"vasppower/internal/hw/platform"
 	"vasppower/internal/workloads"
 )
 
@@ -29,17 +30,24 @@ func (p Profile) PerfLoss() float64 {
 }
 
 // Catalog measures and caches profiles keyed by (benchmark, nodes,
-// cap). Safe for concurrent use.
+// cap) for one platform. Safe for concurrent use.
 type Catalog struct {
-	mu      sync.Mutex
-	seed    uint64
-	entries map[string]Profile
+	mu       sync.Mutex
+	platform platform.Platform
+	seed     uint64
+	entries  map[string]Profile
 }
 
-// NewCatalog creates an empty catalog; seed drives the measurement
-// runs.
+// NewCatalog creates an empty catalog on the default platform; seed
+// drives the measurement runs.
 func NewCatalog(seed uint64) *Catalog {
-	return &Catalog{seed: seed, entries: make(map[string]Profile)}
+	return NewCatalogOn(platform.Platform{}, seed)
+}
+
+// NewCatalogOn creates an empty catalog whose measurements run on the
+// given platform (zero = default).
+func NewCatalogOn(p platform.Platform, seed uint64) *Catalog {
+	return &Catalog{platform: platform.OrDefault(p), seed: seed, entries: make(map[string]Profile)}
 }
 
 func key(bench string, nodes int, cap float64) string {
@@ -60,7 +68,7 @@ func (c *Catalog) Get(b workloads.Benchmark, nodes int, cap float64) (Profile, e
 		return Profile{}, err
 	}
 	p := base
-	if cap > 0 && cap < 400 {
+	if cap > 0 && cap < c.platform.GPU.TDP {
 		p, err = c.measureLocked(b, nodes, cap)
 		if err != nil {
 			return Profile{}, err
@@ -78,7 +86,9 @@ func (c *Catalog) measureLocked(b workloads.Benchmark, nodes int, cap float64) (
 	if p, ok := c.entries[k]; ok {
 		return p, nil
 	}
-	jp, err := core.MeasureBenchmark(b, nodes, 1, cap, c.seed)
+	jp, err := core.Measure(core.MeasureSpec{
+		Bench: b, Platform: c.platform, Nodes: nodes, CapW: cap, Seed: c.seed,
+	})
 	if err != nil {
 		return Profile{}, err
 	}

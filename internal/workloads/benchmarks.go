@@ -12,7 +12,7 @@ import (
 	"vasppower/internal/dft/lattice"
 	"vasppower/internal/dft/method"
 	"vasppower/internal/dft/parallel"
-	"vasppower/internal/hw/gpu"
+	"vasppower/internal/hw/platform"
 )
 
 // Benchmark is one fully-specified VASP workload.
@@ -193,16 +193,18 @@ func (b Benchmark) Validate() error {
 }
 
 // Config resolves the benchmark into a method configuration and
-// decomposition for the given node count.
-func (b Benchmark) Config(nodes int) (method.Config, error) {
+// decomposition for the given platform and node count (one MPI rank
+// per GPU, as the paper's job scripts run).
+func (b Benchmark) Config(p platform.Platform, nodes int) (method.Config, error) {
+	p = platform.OrDefault(p)
 	kpar := b.KPar
-	ranks := nodes * 4
+	ranks := nodes * p.GPUsPerNode
 	// KPAR must divide the rank count; if the configured KPAR cannot,
 	// fall back to 1 (what a user would do).
 	if ranks%kpar != 0 {
 		kpar = 1
 	}
-	d, err := parallel.Decompose(b.NBands, b.KPoints.Reduced(), nodes, 4, kpar)
+	d, err := parallel.Decompose(b.NBands, b.KPoints.Reduced(), nodes, p.GPUsPerNode, kpar)
 	if err != nil {
 		return method.Config{}, fmt.Errorf("workloads %s @%d nodes: %w", b.Name, nodes, err)
 	}
@@ -218,10 +220,10 @@ func (b Benchmark) Config(nodes int) (method.Config, error) {
 		NBandsExact: b.NBandsExact,
 		Decomp:      d,
 	}
-	// The studied nodes carry 40 GB A100s (§II-A); a configuration
-	// that cannot hold its working set per GPU is rejected exactly as
-	// the real run would crash with an allocation failure.
-	hbm := gpu.A100SXM40GB().HBMBytes
+	// A configuration that cannot hold its working set within the
+	// platform GPU's HBM is rejected exactly as the real run would
+	// crash with an allocation failure.
+	hbm := p.GPU.HBMBytes
 	if mem := cfg.MemoryPerGPU(); mem > hbm {
 		return method.Config{}, fmt.Errorf(
 			"workloads %s @%d nodes: %.1f GiB per GPU exceeds the %.0f GiB HBM",

@@ -6,6 +6,7 @@ import (
 
 	"vasppower/internal/dft/incar"
 	"vasppower/internal/dft/method"
+	"vasppower/internal/hw/platform"
 )
 
 func TestTableIMatchesPaper(t *testing.T) {
@@ -61,7 +62,7 @@ func TestByNameAndNames(t *testing.T) {
 
 func TestConfigResolvesDecomposition(t *testing.T) {
 	b, _ := ByName("GaAsBi-64")
-	cfg, err := b.Config(1)
+	cfg, err := b.Config(platform.Platform{}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestConfigKParFallback(t *testing.T) {
 	// are multiples of 4, so craft a benchmark with KPAR=3.
 	b, _ := ByName("GaAsBi-64")
 	b.KPar = 3 // does not divide 4 ranks
-	cfg, err := b.Config(1)
+	cfg, err := b.Config(platform.Platform{}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestConfigTooManyNodes(t *testing.T) {
 	b, _ := ByName("GaAsBi-64") // 192 bands, KPAR 2
 	// 128 nodes → 512 ranks → 256 per KPAR group > 192 bands: no
 	// valid band distribution.
-	if _, err := b.Config(128); err == nil {
+	if _, err := b.Config(platform.Platform{}, 128); err == nil {
 		t.Fatal("absurd node count accepted")
 	}
 }
@@ -145,7 +146,7 @@ func TestSiliconBenchmark(t *testing.T) {
 		if !strings.Contains(b.Name, "Si128") {
 			t.Fatalf("%v: name %q", kind, b.Name)
 		}
-		if _, err := b.Config(1); err != nil {
+		if _, err := b.Config(platform.Platform{}, 1); err != nil {
 			t.Fatalf("%v: %v", kind, err)
 		}
 	}
@@ -187,7 +188,7 @@ func TestConfigRejectsMemoryOverflow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := b.Config(1); err == nil {
+	if _, err := b.Config(platform.Platform{}, 1); err == nil {
 		t.Fatal("HSE Si4096 fit in 40 GB?")
 	}
 	// The same cell under plain DFT fits (bands are distributed).
@@ -195,13 +196,13 @@ func TestConfigRejectsMemoryOverflow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := bd.Config(1); err != nil {
+	if _, err := bd.Config(platform.Platform{}, 1); err != nil {
 		t.Fatalf("DFT Si4096 should fit: %v", err)
 	}
 	// All Table I benchmarks fit at their optimal node counts (they
 	// ran on the real machine).
 	for _, tb := range TableI() {
-		if _, err := tb.Config(tb.OptimalNodes); err != nil {
+		if _, err := tb.Config(platform.Platform{}, tb.OptimalNodes); err != nil {
 			t.Fatalf("%s does not fit: %v", tb.Name, err)
 		}
 	}

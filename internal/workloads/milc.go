@@ -8,6 +8,7 @@ import (
 	"vasppower/internal/dft/parallel"
 	"vasppower/internal/dft/solver"
 	"vasppower/internal/hw/gpu"
+	"vasppower/internal/hw/platform"
 	"vasppower/internal/interconnect"
 	"vasppower/internal/rng"
 )
@@ -143,7 +144,10 @@ func milcSchedule(spec MILCSpec, d parallel.Decomposition) *method.Schedule {
 
 // MILCRunSpec mirrors RunSpec for the MILC application.
 type MILCRunSpec struct {
-	Spec             MILCSpec
+	Spec MILCSpec
+	// Platform selects the hardware; the zero value resolves to the
+	// default platform.
+	Platform         platform.Platform
 	Nodes            int
 	GPUPowerLimit    float64
 	GPUClockLimitMHz float64
@@ -166,10 +170,11 @@ func RunMILC(spec MILCRunSpec) (RunOutput, error) {
 	if repeats <= 0 {
 		repeats = 1
 	}
+	spec.Platform = platform.OrDefault(spec.Platform)
 	// MILC decomposes the lattice over ranks; the "bands" level is the
 	// per-rank sub-lattice. Reuse the decomposition type with one
 	// pseudo-band per site row.
-	d, err := parallel.Decompose(spec.Spec.Lattice[3], 1, spec.Nodes, 4, 1)
+	d, err := parallel.Decompose(spec.Spec.Lattice[3], 1, spec.Nodes, spec.Platform.GPUsPerNode, 1)
 	if err != nil {
 		return RunOutput{}, err
 	}
@@ -182,7 +187,7 @@ func RunMILC(spec MILCRunSpec) (RunOutput, error) {
 	}
 
 	exec := func(r int) (repeatRun, error) {
-		pool := cluster.New(spec.Nodes, spec.Seed)
+		pool := cluster.New(spec.Platform, spec.Nodes, spec.Seed)
 		nodes, err := pool.Allocate(spec.Nodes)
 		if err != nil {
 			return repeatRun{}, err

@@ -9,6 +9,7 @@ import (
 	"vasppower/internal/dft/solver"
 	"vasppower/internal/hw/gpu"
 	"vasppower/internal/hw/node"
+	"vasppower/internal/hw/platform"
 	"vasppower/internal/interconnect"
 	"vasppower/internal/par"
 	"vasppower/internal/rng"
@@ -18,9 +19,12 @@ import (
 // protocol (§III-B).
 type RunSpec struct {
 	Bench Benchmark
-	Nodes int
+	// Platform selects the hardware the run executes on; the zero
+	// value resolves to the default platform.
+	Platform platform.Platform
+	Nodes    int
 	// GPUPowerLimit applies a cap to every GPU before the run
-	// (0 = default 400 W).
+	// (0 = the platform GPU's default TDP limit).
 	GPUPowerLimit float64
 	// GPUClockLimitMHz locks the maximum SM clock on every GPU
 	// (0 = unlocked) — the DVFS alternative studied against power
@@ -141,7 +145,8 @@ func Run(spec RunSpec) (RunOutput, error) {
 	if repeats <= 0 {
 		repeats = 1
 	}
-	cfg, err := spec.Bench.Config(spec.Nodes)
+	spec.Platform = platform.OrDefault(spec.Platform)
+	cfg, err := spec.Bench.Config(spec.Platform, spec.Nodes)
 	if err != nil {
 		return RunOutput{}, err
 	}
@@ -164,7 +169,7 @@ func Run(spec RunSpec) (RunOutput, error) {
 		// the batch system hands out nodes on the real machine. Each
 		// repeat allocates from an identically-seeded pool, so every
 		// repeat sees the same simulated hardware.
-		pool := cluster.New(spec.Nodes, spec.Seed)
+		pool := cluster.New(spec.Platform, spec.Nodes, spec.Seed)
 		nodes, err := pool.Allocate(spec.Nodes)
 		if err != nil {
 			return repeatRun{}, err
@@ -201,10 +206,14 @@ func Run(spec RunSpec) (RunOutput, error) {
 				run.phases[name] = [2]float64{start, nodes[0].TraceDuration()}
 				return nil
 			}
-			if err := mark("dgemm", func() error { return runMicro(job, DGEMMSchedule(dgemmSeconds)) }); err != nil {
+			if err := mark("dgemm", func() error {
+				return runMicro(job, DGEMMSchedule(spec.Platform.GPU, dgemmSeconds))
+			}); err != nil {
 				return repeatRun{}, err
 			}
-			if err := mark("stream", func() error { return runMicro(job, StreamSchedule(streamSeconds)) }); err != nil {
+			if err := mark("stream", func() error {
+				return runMicro(job, StreamSchedule(spec.Platform.GPU, streamSeconds))
+			}); err != nil {
 				return repeatRun{}, err
 			}
 			if err := mark("idle", func() error {
@@ -236,10 +245,10 @@ func runMicro(job solver.Job, sched *method.Schedule) error {
 	return err
 }
 
-// DGEMMSchedule builds the burn-in DGEMM phase: a near-peak
-// compute-bound kernel sized to run for about `seconds` at full clock.
-func DGEMMSchedule(seconds float64) *method.Schedule {
-	spec := gpu.A100SXM40GB()
+// DGEMMSchedule builds the burn-in DGEMM phase for the given GPU: a
+// near-peak compute-bound kernel sized to run for about `seconds` at
+// full clock.
+func DGEMMSchedule(spec gpu.Spec, seconds float64) *method.Schedule {
 	k := gpu.Kernel{
 		Name:       "dgemm-burnin",
 		Flops:      seconds * 0.95 * spec.PeakFlops,
@@ -255,10 +264,10 @@ func DGEMMSchedule(seconds float64) *method.Schedule {
 	}
 }
 
-// StreamSchedule builds the burn-in STREAM (triad) phase: a
-// bandwidth-bound kernel sized for about `seconds` at full bandwidth.
-func StreamSchedule(seconds float64) *method.Schedule {
-	spec := gpu.A100SXM40GB()
+// StreamSchedule builds the burn-in STREAM (triad) phase for the
+// given GPU: a bandwidth-bound kernel sized for about `seconds` at
+// full bandwidth.
+func StreamSchedule(spec gpu.Spec, seconds float64) *method.Schedule {
 	k := gpu.Kernel{
 		Name:       "stream-triad",
 		Flops:      seconds * 0.04 * spec.PeakFlops,

@@ -3,6 +3,8 @@ package workloads
 import (
 	"math"
 	"testing"
+
+	"vasppower/internal/hw/gpu"
 )
 
 func TestRunBasicProtocol(t *testing.T) {
@@ -127,11 +129,11 @@ func TestRunDeterministicAcrossCalls(t *testing.T) {
 }
 
 func TestMicroSchedules(t *testing.T) {
-	dg := DGEMMSchedule(10)
+	dg := DGEMMSchedule(gpu.A100SXM40GB(), 10)
 	if len(dg.Steps) != 1 || dg.Steps[0].GPU.Flops <= 0 {
 		t.Fatal("DGEMM schedule malformed")
 	}
-	st := StreamSchedule(10)
+	st := StreamSchedule(gpu.A100SXM40GB(), 10)
 	if len(st.Steps) != 1 || st.Steps[0].GPU.Bytes <= 0 {
 		t.Fatal("STREAM schedule malformed")
 	}

@@ -15,13 +15,18 @@
 // Quick start:
 //
 //	b, _ := vasppower.BenchmarkByName("Si256_hse")
-//	profile, err := vasppower.Measure(b, 1, 5, 0, 42)
+//	profile, err := vasppower.Measure(vasppower.MeasureSpec{Bench: b, Repeats: 5, Seed: 42})
 //	// profile.NodeTotal.HighMode.X is the high power mode per node.
+//
+// Measurements run on the default platform (the paper's Perlmutter
+// A100 nodes) unless MeasureSpec.Platform selects another registered
+// platform; see Platforms and PlatformByName.
 package vasppower
 
 import (
 	"vasppower/internal/core"
 	"vasppower/internal/dft/method"
+	"vasppower/internal/hw/platform"
 	"vasppower/internal/predict"
 	"vasppower/internal/sched"
 	"vasppower/internal/stats"
@@ -35,6 +40,14 @@ type Benchmark = workloads.Benchmark
 
 // RunSpec configures one measurement run (§III-B protocol).
 type RunSpec = workloads.RunSpec
+
+// Platform is a fully-described hardware platform: GPU and CPU specs,
+// node power parameters, GPUs per node, and variability. The zero
+// value means "the default platform" wherever a Platform is accepted.
+type Platform = platform.Platform
+
+// MeasureSpec configures one Measure or MeasureCapResponse call.
+type MeasureSpec = core.MeasureSpec
 
 // RunOutput is a measurement run's traces and selected repeat.
 type RunOutput = workloads.RunOutput
@@ -96,32 +109,30 @@ func SiliconBenchmark(nAtoms int, m Method) (Benchmark, error) {
 // returns the raw traces plus the selected repeat.
 func Run(spec RunSpec) (RunOutput, error) { return workloads.Run(spec) }
 
-// Measure runs a benchmark (repeats times, optional GPU cap in watts,
-// 0 = default) and returns its power profile at the standard 2 s
-// telemetry interval.
-func Measure(b Benchmark, nodes, repeats int, capW float64, seed uint64) (JobProfile, error) {
-	return core.MeasureBenchmark(b, nodes, repeats, capW, seed)
+// Measure runs a benchmark with the paper's protocol and returns its
+// power profile at the standard 2 s telemetry interval. Zero spec
+// fields take protocol defaults (default platform, 1 node, 1 repeat,
+// uncapped, serial); set spec.Workers to fan repeats out over a
+// worker pool — the profile is identical for every worker count.
+func Measure(spec MeasureSpec) (JobProfile, error) { return core.Measure(spec) }
+
+// MeasureCapResponse measures a benchmark under each GPU power cap
+// (spec.CapW is ignored; caps drives the sweep). spec.Workers fans the
+// baseline and cap points out concurrently; the response is identical
+// for every worker count.
+func MeasureCapResponse(spec MeasureSpec, caps []float64) (CapResponse, error) {
+	return core.MeasureCapResponse(spec, caps)
 }
 
-// MeasureWorkers is Measure with the repeats fanned out over a worker
-// pool (workers 0 = one per CPU, 1 = serial). The profile is
-// identical for every worker count: repeats draw from seed-split
-// noise streams, never from execution order.
-func MeasureWorkers(b Benchmark, nodes, repeats int, capW float64, seed uint64, workers int) (JobProfile, error) {
-	return core.MeasureBenchmarkWorkers(b, nodes, repeats, capW, seed, workers)
-}
+// Platforms lists the registered platform names in sorted order.
+func Platforms() []string { return platform.List() }
 
-// MeasureCapResponse measures a benchmark under each GPU power cap.
-func MeasureCapResponse(b Benchmark, nodes int, caps []float64, repeats int, seed uint64) (CapResponse, error) {
-	return core.MeasureCapResponse(b, nodes, caps, repeats, seed)
-}
+// PlatformByName looks up a registered platform; the error lists the
+// registered names.
+func PlatformByName(name string) (Platform, error) { return platform.Get(name) }
 
-// MeasureCapResponseWorkers is MeasureCapResponse with the baseline
-// and cap points measured concurrently (workers 0 = one per CPU,
-// 1 = serial); the response is identical for every worker count.
-func MeasureCapResponseWorkers(b Benchmark, nodes int, caps []float64, repeats int, seed uint64, workers int) (CapResponse, error) {
-	return core.MeasureCapResponseWorkers(b, nodes, caps, repeats, seed, workers)
-}
+// DefaultPlatform returns the paper's platform, perlmutter-a100.
+func DefaultPlatform() Platform { return platform.Default() }
 
 // HighPowerMode computes the paper's headline metric for a sample of
 // power readings: the mode at the highest power, via a Gaussian KDE.
@@ -148,8 +159,9 @@ type (
 
 // Scheduler policies for the ablation.
 var (
-	// PolicyNoCap runs jobs at default limits, reserving node TDP.
-	PolicyNoCap SchedulerPolicy = sched.NoCap{NodeTDP: 2350}
+	// PolicyNoCap runs jobs at default limits, reserving the default
+	// platform's node TDP.
+	PolicyNoCap SchedulerPolicy = sched.NoCap{NodeTDP: platform.Default().Node.TDP}
 	// PolicyUniform200 caps every GPU at 50% TDP.
 	PolicyUniform200 SchedulerPolicy = sched.UniformCap{Watts: 200, HostWatts: 350}
 	// PolicyProfileAware applies the paper's per-class caps.
@@ -157,8 +169,15 @@ var (
 )
 
 // NewSchedulerCatalog creates a profile catalog for scheduler
-// simulations (profiles are measured once and cached).
+// simulations on the default platform (profiles are measured once and
+// cached).
 func NewSchedulerCatalog(seed uint64) *sched.Catalog { return sched.NewCatalog(seed) }
+
+// NewSchedulerCatalogOn is NewSchedulerCatalog measuring on the given
+// platform (zero = default).
+func NewSchedulerCatalogOn(p Platform, seed uint64) *sched.Catalog {
+	return sched.NewCatalogOn(p, seed)
+}
 
 // SimulateScheduler runs a job mix through the power-aware scheduler.
 func SimulateScheduler(cfg SchedulerConfig, jobs []SchedulerJob) (SchedulerResult, error) {

@@ -23,7 +23,7 @@ func TestBenchmarksSuite(t *testing.T) {
 
 func TestMeasurePublicAPI(t *testing.T) {
 	b, _ := vasppower.BenchmarkByName("B.hR105_hse")
-	jp, err := vasppower.Measure(b, 1, 1, 0, 42)
+	jp, err := vasppower.Measure(vasppower.MeasureSpec{Bench: b, Nodes: 1, Repeats: 1, CapW: 0, Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +37,7 @@ func TestMeasurePublicAPI(t *testing.T) {
 
 func TestMeasureCapResponsePublicAPI(t *testing.T) {
 	b, _ := vasppower.BenchmarkByName("GaAsBi-64")
-	cr, err := vasppower.MeasureCapResponse(b, 1, []float64{400, 100}, 1, 42)
+	cr, err := vasppower.MeasureCapResponse(vasppower.MeasureSpec{Bench: b, Nodes: 1, Repeats: 1, Seed: 42}, []float64{400, 100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +124,7 @@ func TestPowerPredictorPublicAPI(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		jp, err := vasppower.Measure(b, 1, 1, 0, 42)
+		jp, err := vasppower.Measure(vasppower.MeasureSpec{Bench: b, Nodes: 1, Repeats: 1, CapW: 0, Seed: 42})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -144,7 +144,7 @@ func TestPowerPredictorPublicAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	jp, _ := vasppower.Measure(b, 1, 1, 0, 42)
+	jp, _ := vasppower.Measure(vasppower.MeasureSpec{Bench: b, Nodes: 1, Repeats: 1, CapW: 0, Seed: 42})
 	measured := jp.NodeTotal.HighMode.X
 	if pred < measured*0.8 || pred > measured*1.2 {
 		t.Fatalf("interpolated prediction %v vs measured %v", pred, measured)
