@@ -4,14 +4,23 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
 	"vasppower/internal/core"
+	"vasppower/internal/obs"
 	"vasppower/internal/workloads"
 )
 
 func main() {
+	version := flag.Bool("version", false, "print module version, VCS revision, and dirty flag, then exit")
+	flag.Parse()
+	if *version {
+		fmt.Println(obs.VersionString("calibrate"))
+		return
+	}
+
 	fmt.Println("=== Table I benchmarks @ 1 node (targets: node mode 766..1814 W) ===")
 	fmt.Printf("%-14s %9s %9s %9s %8s %8s %8s\n",
 		"bench", "runtime", "nodeMode", "gpuMode", "gpuShare", "cpumem%", "meanNode")

@@ -23,6 +23,7 @@ import (
 	"vasppower/internal/dft/incar"
 	"vasppower/internal/dft/lattice"
 	"vasppower/internal/dft/method"
+	"vasppower/internal/obs"
 	"vasppower/internal/report"
 	"vasppower/internal/workloads"
 )
@@ -38,7 +39,13 @@ func main() {
 	cap := flag.Float64("cap", 0, "GPU power cap in watts (0 = the GPU's default TDP limit)")
 	repeats := flag.Int("repeats", 1, "repeats (min-runtime selection)")
 	seed := flag.Uint64("seed", 42, "random seed")
+	version := flag.Bool("version", false, "print module version, VCS revision, and dirty flag, then exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(obs.VersionString("minivasp"))
+		return
+	}
 
 	if *list {
 		for _, b := range vasppower.Benchmarks() {

@@ -18,6 +18,7 @@ import (
 
 	"vasppower"
 	"vasppower/internal/monitor"
+	"vasppower/internal/obs"
 	"vasppower/internal/omni"
 	"vasppower/internal/report"
 	"vasppower/internal/stats"
@@ -28,7 +29,13 @@ func main() {
 	nodes := flag.Int("nodes", 2, "node count")
 	metric := flag.String("metric", "node", "metric to query (node, cpu, memory, gpu0..gpu3)")
 	seed := flag.Uint64("seed", 42, "random seed")
+	version := flag.Bool("version", false, "print module version, VCS revision, and dirty flag, then exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(obs.VersionString("omniquery"))
+		return
+	}
 
 	bench, ok := vasppower.BenchmarkByName(*benchName)
 	if !ok {

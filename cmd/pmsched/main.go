@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"vasppower"
+	"vasppower/internal/obs"
 	"vasppower/internal/report"
 )
 
@@ -23,7 +24,13 @@ func main() {
 	jobsN := flag.Int("jobs", 24, "number of jobs in the mix")
 	arrival := flag.Float64("arrival", 90, "mean inter-arrival time, seconds")
 	seed := flag.Uint64("seed", 2024, "random seed")
+	version := flag.Bool("version", false, "print module version, VCS revision, and dirty flag, then exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(obs.VersionString("pmsched"))
+		return
+	}
 
 	jobs := vasppower.SyntheticJobMix(*jobsN, *arrival, *seed)
 	fmt.Printf("job mix: %d VASP jobs over ~%.0f s of arrivals on %d nodes, budget %.1f kW\n\n",

@@ -34,7 +34,7 @@ func TestQuickOutputGolden(t *testing.T) {
 	}
 	var buf bytes.Buffer
 	cfg := experiments.Config{Seed: 2024, Quick: true}
-	if err := run(cfg, "", "", &buf); err != nil {
+	if _, err := run(cfg, "", "", &buf); err != nil {
 		t.Fatal(err)
 	}
 	got := normalize(buf.String())
@@ -59,7 +59,7 @@ func TestQuickRunsOnEveryPlatform(t *testing.T) {
 	for _, name := range []string{"perlmutter-a100", "a100-80gb-500w", "h100-sxm"} {
 		var buf bytes.Buffer
 		cfg := experiments.Config{Platform: name, Seed: 2024, Quick: true}
-		if err := run(cfg, "table1,fig6", "", &buf); err != nil {
+		if _, err := run(cfg, "table1,fig6", "", &buf); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 		outputs[name] = normalize(buf.String())

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	powerstudy [-quick] [-platform NAME] [-seed N] [-repeats N] [-parallel N] [-only table1,fig3,...] [-artifact DIR]
+//	           [-trace FILE] [-manifest FILE] [-debug-addr ADDR] [-version]
 //
 // Experiment names: table1, fig1..fig13, exta (scheduler ablation),
 // extb (repeat protocol), extc (DVFS vs capping), extd (power
@@ -20,6 +21,14 @@
 // 1 = serial). Results are identical for every value: all randomness
 // is seed-derived, never order-derived, and output stays in experiment
 // order.
+//
+// The observability flags never touch stdout, so the byte-identical
+// golden output holds with or without them: -trace FILE appends one
+// JSON line per span (each experiment, each measurement) to FILE,
+// -manifest FILE writes a self-describing run record (build info,
+// platform, knobs, per-experiment wall time, metrics snapshot) at
+// exit, and -debug-addr ADDR serves net/http/pprof plus a JSON
+// metrics dump for live inspection of long sweeps.
 package main
 
 import (
@@ -34,6 +43,7 @@ import (
 	"vasppower/internal/artifact"
 	"vasppower/internal/experiments"
 	"vasppower/internal/hw/platform"
+	"vasppower/internal/obs"
 	"vasppower/internal/par"
 )
 
@@ -66,8 +76,16 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker pool size for experiments and their sweeps (0 = one per CPU, 1 = serial)")
 	only := flag.String("only", "", "comma-separated experiment list (default: all)")
 	artifactDir := flag.String("artifact", "", "directory for CSV data exports (empty = no export)")
+	tracePath := flag.String("trace", "", "append spans as JSON lines to this file (empty = no tracing)")
+	manifestPath := flag.String("manifest", "", "write a self-describing run manifest (JSON) to this file at exit")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address (e.g. localhost:6060)")
+	version := flag.Bool("version", false, "print module version, VCS revision, and dirty flag, then exit")
 	flag.Parse()
 
+	if *version {
+		fmt.Println(obs.VersionString("powerstudy"))
+		return
+	}
 	if *platName != "" {
 		if _, err := platform.Get(*platName); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -78,16 +96,84 @@ func main() {
 		Platform: *platName, Seed: *seed, Repeats: *repeats,
 		Quick: *quick, Workers: *parallel,
 	}
-	if err := run(cfg, *only, *artifactDir, os.Stdout); err != nil {
+
+	// Observability: any of the three flags turns the recorder on; all
+	// off leaves every hot path on its nil no-op default.
+	if *tracePath != "" || *manifestPath != "" || *debugAddr != "" {
+		cfg.Obs = obs.New()
+		experiments.Instrument(cfg.Obs.Metrics)
+		if *tracePath != "" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "powerstudy: trace:", err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			cfg.Obs.Tracer = obs.NewTracer(f)
+		}
+		if *debugAddr != "" {
+			ds, err := obs.ServeDebug(*debugAddr, cfg.Obs.Metrics)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "powerstudy:", err)
+				os.Exit(2)
+			}
+			defer ds.Close()
+			fmt.Fprintf(os.Stderr, "powerstudy: debug endpoint on http://%s (pprof, /debug/vars)\n", ds.Addr)
+		}
+	}
+
+	started := time.Now()
+	timings, err := run(cfg, *only, *artifactDir, os.Stdout)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if *manifestPath != "" {
+		if err := writeManifest(*manifestPath, cfg, started, timings); err != nil {
+			fmt.Fprintln(os.Stderr, "powerstudy:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "powerstudy: run manifest written to %s\n", *manifestPath)
+	}
+}
+
+// platformName resolves the platform label recorded in spans and the
+// manifest.
+func platformName(cfg experiments.Config) string {
+	if cfg.Platform != "" {
+		return cfg.Platform
+	}
+	return platform.DefaultName
+}
+
+// writeManifest captures the run the way the paper's OMNI job records
+// capture a batch job: provenance, configuration, per-experiment wall
+// time, and the final metrics snapshot.
+func writeManifest(path string, cfg experiments.Config, started time.Time, timings []obs.ExperimentTiming) error {
+	var snap *obs.Snapshot
+	if reg := cfg.Obs.Reg(); reg != nil {
+		s := reg.Snapshot()
+		snap = &s
+	}
+	return obs.Manifest{
+		Tool:        "powerstudy",
+		Build:       obs.GetBuildInfo(),
+		Platform:    platformName(cfg),
+		Seed:        cfg.Seed,
+		Workers:     par.Workers(cfg.Workers),
+		Quick:       cfg.Quick,
+		Started:     started.UTC(),
+		WallSeconds: time.Since(started).Seconds(),
+		Experiments: timings,
+		Metrics:     snap,
+	}.Write(path)
 }
 
 // run executes the selected experiments against cfg and writes their
-// rendered output to w in list order. It is the whole CLI behind flag
-// parsing, so tests can drive it directly.
-func run(cfg experiments.Config, only, artifactDir string, w io.Writer) error {
+// rendered output to w in list order, returning each experiment's wall
+// time for the manifest. It is the whole CLI behind flag parsing, so
+// tests can drive it directly.
+func run(cfg experiments.Config, only, artifactDir string, w io.Writer) ([]obs.ExperimentTiming, error) {
 	selected := map[string]bool{}
 	if only != "" {
 		for _, name := range strings.Split(only, ",") {
@@ -199,35 +285,47 @@ func run(cfg experiments.Config, only, artifactDir string, w io.Writer) error {
 	// The experiment list itself goes through the pool: each unit's
 	// output lands in its slot and is printed strictly in list order as
 	// it becomes ready. A failed unit surfaces its own error, at its
-	// position in the list, exactly like the serial CLI did.
+	// position in the list, exactly like the serial CLI did. Each unit
+	// gets an "experiment" span and a manifest timing entry; neither
+	// touches the rendered output.
 	outputs := make([]output, len(units))
+	seconds := make([]float64, len(units))
 	done := make([]chan struct{}, len(units))
 	for i := range done {
 		done[i] = make(chan struct{})
 	}
+	platName := platformName(cfg)
 	go par.ForEach(context.Background(), par.Workers(cfg.Workers), len(units),
 		func(_ context.Context, i int) error {
+			sp := cfg.Obs.Span("experiment")
+			start := time.Now()
 			outputs[i].text, outputs[i].tables, outputs[i].err = units[i].run()
+			seconds[i] = time.Since(start).Seconds()
+			sp.Set("name", units[i].name).Set("platform", platName).
+				Set("error", outputs[i].err != nil)
+			sp.End()
 			close(done[i])
 			return nil // errors surface in list order below
 		})
 
 	var tables []artifact.Table
+	timings := make([]obs.ExperimentTiming, 0, len(units))
 	for i := range units {
 		<-done[i]
 		if err := outputs[i].err; err != nil {
-			return fmt.Errorf("%s: %w", units[i].name, err)
+			return nil, fmt.Errorf("%s: %w", units[i].name, err)
 		}
 		fmt.Fprint(w, outputs[i].text)
 		tables = append(tables, outputs[i].tables...)
+		timings = append(timings, obs.ExperimentTiming{Name: units[i].name, Seconds: seconds[i]})
 	}
 
 	if exportCSV && len(tables) > 0 {
 		paths, err := artifact.Write(artifactDir, tables...)
 		if err != nil {
-			return fmt.Errorf("artifact export: %w", err)
+			return nil, fmt.Errorf("artifact export: %w", err)
 		}
 		fmt.Fprintf(w, "artifact bundle: %d CSV files under %s\n", len(paths), artifactDir)
 	}
-	return nil
+	return timings, nil
 }

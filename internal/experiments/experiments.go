@@ -13,7 +13,10 @@ import (
 	"vasppower/internal/core"
 	"vasppower/internal/hw/platform"
 	"vasppower/internal/memo"
+	"vasppower/internal/obs"
+	"vasppower/internal/omni"
 	"vasppower/internal/par"
+	"vasppower/internal/sim"
 	"vasppower/internal/workloads"
 )
 
@@ -36,6 +39,10 @@ type Config struct {
 	// sweep assembles by index, so results are identical for all
 	// values.
 	Workers int
+	// Obs carries the run's telemetry sinks (metrics and span tracer).
+	// Nil — the default — disables telemetry entirely; metrics and
+	// spans never influence results or rendered output either way.
+	Obs *obs.Obs
 }
 
 // DefaultConfig returns the paper-faithful configuration.
@@ -99,17 +106,45 @@ func measureKey(p platform.Platform, b workloads.Benchmark, nodes, repeats int, 
 	}, "|")
 }
 
+// Instrument threads reg through every hot path the measurement
+// engine owns: the measurement cache, the worker pools, the simulation
+// engine, and the OMNI store. Call once at startup (a nil reg detaches
+// everything); telemetry is process-wide from then on.
+func Instrument(reg *obs.Registry) {
+	if reg == nil {
+		cache.Instrument(nil)
+		par.SetMetrics(nil)
+		sim.SetMetrics(nil)
+		omni.SetMetrics(nil)
+		return
+	}
+	cache.Instrument(memo.NewMetrics(reg, "memo"))
+	par.SetMetrics(par.NewMetrics(reg))
+	sim.SetMetrics(sim.NewMetrics(reg))
+	omni.SetMetrics(omni.NewMetrics(reg))
+}
+
 // measure runs (or recalls) one benchmark measurement on cfg's
-// platform at cfg's seed.
+// platform at cfg's seed. Every evaluation opens a "measure" span
+// (when cfg.Obs carries a tracer) recording the spec, the wall time,
+// and whether the cache served it without computing.
 func measure(cfg Config, b workloads.Benchmark, nodes, repeats int, capW float64) (core.JobProfile, error) {
 	p := cfg.platform()
 	key := measureKey(p, b, nodes, repeats, capW, cfg.seed())
-	return cache.Do(context.Background(), key, func() (core.JobProfile, error) {
+	sp := cfg.Obs.Span("measure")
+	computed := false
+	jp, err := cache.Do(context.Background(), key, func() (core.JobProfile, error) {
+		computed = true
 		return core.Measure(core.MeasureSpec{
 			Bench: b, Platform: p, Nodes: nodes, Repeats: repeats,
 			CapW: capW, Seed: cfg.seed(),
 		})
 	})
+	sp.Set("bench", b.Name).Set("platform", p.Name).Set("nodes", nodes).
+		Set("repeats", repeats).Set("cap_w", capW).
+		Set("cache_hit", !computed).Set("error", err != nil)
+	sp.End()
+	return jp, err
 }
 
 // ResetCache clears the measurement cache (tests use it to force

@@ -16,16 +16,51 @@ import (
 	"context"
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"vasppower/internal/obs"
 )
 
 // shardCount bounds lock contention. Power of two, sized well above
 // any plausible worker count.
 const shardCount = 32
 
+// Metrics is the cache's observability hook. Every Do call counts one
+// Lookup and exactly one of Hits or Misses (so hits+misses == lookups
+// always holds); Dedups counts the subset of hits that arrived while
+// the flight was still computing, and WaitMS records how long those
+// deduplicated callers blocked. A nil *Metrics (the default) costs one
+// atomic pointer load per Do.
+type Metrics struct {
+	Lookups *obs.Counter
+	Hits    *obs.Counter
+	Misses  *obs.Counter
+	Dedups  *obs.Counter
+	WaitMS  *obs.Histogram
+}
+
+// waitBucketsMS bounds the dedup wait-time histogram: computations
+// range from sub-millisecond trimmed runs to multi-second sweeps.
+var waitBucketsMS = []float64{0.1, 1, 10, 100, 1000, 10000}
+
+// NewMetrics registers the cache metric set under prefix (e.g. "memo")
+// in reg. A nil registry yields a usable all-no-op Metrics.
+func NewMetrics(reg *obs.Registry, prefix string) *Metrics {
+	return &Metrics{
+		Lookups: reg.Counter(prefix + ".lookups"),
+		Hits:    reg.Counter(prefix + ".hits"),
+		Misses:  reg.Counter(prefix + ".misses"),
+		Dedups:  reg.Counter(prefix + ".dedups"),
+		WaitMS:  reg.Histogram(prefix+".wait_ms", waitBucketsMS),
+	}
+}
+
 // Cache is a sharded singleflight memoization cache. The zero value is
 // not usable; call New.
 type Cache[V any] struct {
-	shards [shardCount]shard[V]
+	shards  [shardCount]shard[V]
+	metrics atomic.Pointer[Metrics]
 }
 
 type shard[V any] struct {
@@ -50,6 +85,11 @@ func New[V any]() *Cache[V] {
 	return c
 }
 
+// Instrument attaches (or, with nil, detaches) metrics. Counting
+// starts with the next Do; in-flight calls keep the recorder they
+// loaded at entry.
+func (c *Cache[V]) Instrument(m *Metrics) { c.metrics.Store(m) }
+
 func (c *Cache[V]) shard(key string) *shard[V] {
 	h := fnv.New32a()
 	h.Write([]byte(key))
@@ -64,10 +104,25 @@ func (c *Cache[V]) shard(key string) *shard[V] {
 // to every caller of that flight, and the next call retries — matching
 // the retry semantics of the serial cache this replaces.
 func (c *Cache[V]) Do(ctx context.Context, key string, compute func() (V, error)) (V, error) {
+	m := c.metrics.Load()
 	s := c.shard(key)
 	s.mu.Lock()
 	if e, ok := s.entries[key]; ok {
 		s.mu.Unlock()
+		if m != nil {
+			m.Lookups.Add(1)
+			m.Hits.Add(1)
+			select {
+			case <-e.done: // completed entry: a plain hit, no wait
+				return e.val, e.err
+			default:
+			}
+			// In-flight entry: this caller is deduplicated onto the
+			// running computation; time how long it blocks.
+			m.Dedups.Add(1)
+			start := time.Now()
+			defer func() { m.WaitMS.Observe(float64(time.Since(start)) / 1e6) }()
+		}
 		select {
 		case <-e.done:
 			return e.val, e.err
@@ -79,6 +134,10 @@ func (c *Cache[V]) Do(ctx context.Context, key string, compute func() (V, error)
 	e := &entry[V]{done: make(chan struct{})}
 	s.entries[key] = e
 	s.mu.Unlock()
+	if m != nil {
+		m.Lookups.Add(1)
+		m.Misses.Add(1)
+	}
 
 	e.val, e.err = compute()
 	if e.err != nil {

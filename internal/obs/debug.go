@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugServer is the live-inspection endpoint for long sweeps: the
+// standard pprof handlers plus an expvar-style JSON dump of the
+// metrics registry. It binds eagerly (so a bad address fails fast at
+// startup) and serves in the background until Close.
+type DebugServer struct {
+	// Addr is the resolved listen address (useful with ":0").
+	Addr string
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// ServeDebug starts a debug HTTP server on addr exposing:
+//
+//	/debug/pprof/        the net/http/pprof index and profiles
+//	/debug/vars          JSON snapshot of reg (zero metrics if reg is nil)
+//	/                    a plain-text index of the above
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(reg.Snapshot())
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "vasppower debug endpoint")
+		fmt.Fprintln(w, "  /debug/pprof/   profiles (heap, goroutine, profile?seconds=N, ...)")
+		fmt.Fprintln(w, "  /debug/vars     metrics registry snapshot (JSON)")
+	})
+	ds := &DebugServer{
+		Addr: ln.Addr().String(),
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		ln:   ln,
+	}
+	go ds.srv.Serve(ln)
+	return ds, nil
+}
+
+// Close stops the server and its listener.
+func (d *DebugServer) Close() error {
+	if d == nil {
+		return nil
+	}
+	return d.srv.Close()
+}

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+)
+
+func TestServeDebug(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sim.steps").Add(123)
+	ds, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+
+	get := func(path string) []byte {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", ds.Addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	var snap Snapshot
+	if err := json.Unmarshal(get("/debug/vars"), &snap); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if snap.Counters["sim.steps"] != 123 {
+		t.Fatalf("/debug/vars counters = %v", snap.Counters)
+	}
+	if body := get("/debug/pprof/goroutine?debug=1"); len(body) == 0 {
+		t.Fatal("pprof goroutine profile empty")
+	}
+	if body := get("/"); len(body) == 0 {
+		t.Fatal("index page empty")
+	}
+}
+
+func TestServeDebugBadAddrFailsFast(t *testing.T) {
+	if _, err := ServeDebug("256.0.0.1:99999", nil); err == nil {
+		t.Fatal("expected listen error")
+	}
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime/debug"
+	"time"
+)
+
+// BuildInfo is the provenance stamp every manifest (and every cmd's
+// -version flag) carries: which module build produced this run, from
+// which VCS revision, and whether the tree was dirty — the same role
+// the paper's OMNI job records play for a batch job.
+type BuildInfo struct {
+	Module    string `json:"module"`
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"vcs_revision,omitempty"`
+	VCSTime   string `json:"vcs_time,omitempty"`
+	Dirty     bool   `json:"vcs_dirty,omitempty"`
+}
+
+// GetBuildInfo reads the running binary's build metadata via
+// debug.ReadBuildInfo. Fields missing from the build (e.g. VCS stamps
+// under plain `go test`) stay empty.
+func GetBuildInfo() BuildInfo {
+	b := BuildInfo{Module: "unknown", Version: "unknown"}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	b.Module = info.Main.Path
+	b.Version = info.Main.Version
+	b.GoVersion = info.GoVersion
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.Revision = s.Value
+		case "vcs.time":
+			b.VCSTime = s.Value
+		case "vcs.modified":
+			b.Dirty = s.Value == "true"
+		}
+	}
+	return b
+}
+
+// String renders the one-line form the -version flags print.
+func (b BuildInfo) String() string {
+	s := fmt.Sprintf("%s %s (%s", b.Module, b.Version, b.GoVersion)
+	if b.Revision != "" {
+		rev := b.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += ", rev " + rev
+		if b.Dirty {
+			s += " dirty"
+		}
+	}
+	return s + ")"
+}
+
+// VersionString is the line `<tool> -version` prints.
+func VersionString(tool string) string {
+	return tool + ": " + GetBuildInfo().String()
+}
+
+// ExperimentTiming is one experiment's wall-clock contribution to a
+// run, as recorded in the manifest.
+type ExperimentTiming struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
+
+// Manifest makes a run self-describing: what binary ran, on which
+// platform, with which knobs, how long each experiment took, and the
+// full metrics snapshot at exit. Written as indented JSON by Write.
+type Manifest struct {
+	Tool        string             `json:"tool"`
+	Build       BuildInfo          `json:"build"`
+	Platform    string             `json:"platform"`
+	Seed        uint64             `json:"seed"`
+	Workers     int                `json:"workers"`
+	Quick       bool               `json:"quick"`
+	Started     time.Time          `json:"started"`
+	WallSeconds float64            `json:"wall_seconds"`
+	Experiments []ExperimentTiming `json:"experiments,omitempty"`
+	Metrics     *Snapshot          `json:"metrics,omitempty"`
+}
+
+// Write marshals the manifest to path (0644, whole-file replace).
+func (m Manifest) Write(path string) error {
+	buf, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: marshal manifest: %w", err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return fmt.Errorf("obs: write manifest: %w", err)
+	}
+	return nil
+}

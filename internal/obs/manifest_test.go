@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestGetBuildInfo(t *testing.T) {
+	b := GetBuildInfo()
+	if b.Module != "vasppower" {
+		t.Fatalf("module = %q, want vasppower", b.Module)
+	}
+	if b.GoVersion == "" {
+		t.Fatal("empty go version")
+	}
+	if !strings.Contains(b.String(), "vasppower") || !strings.Contains(b.String(), b.GoVersion) {
+		t.Fatalf("String() = %q lacks module/go version", b.String())
+	}
+	if !strings.HasPrefix(VersionString("powerstudy"), "powerstudy: ") {
+		t.Fatalf("VersionString = %q", VersionString("powerstudy"))
+	}
+}
+
+func TestManifestWriteRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("memo.hits").Add(42)
+	snap := reg.Snapshot()
+	m := Manifest{
+		Tool:        "powerstudy",
+		Build:       GetBuildInfo(),
+		Platform:    "perlmutter-a100",
+		Seed:        2024,
+		Workers:     8,
+		Quick:       true,
+		Started:     time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC),
+		WallSeconds: 1.5,
+		Experiments: []ExperimentTiming{{Name: "table1", Seconds: 0.4}},
+		Metrics:     &snap,
+	}
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := m.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Manifest
+	if err := json.Unmarshal(buf, &got); err != nil {
+		t.Fatalf("manifest is not parseable JSON: %v", err)
+	}
+	if got.Platform != m.Platform || got.Seed != m.Seed || got.Workers != m.Workers {
+		t.Fatalf("round trip lost fields: %+v", got)
+	}
+	if len(got.Experiments) != 1 || got.Experiments[0].Name != "table1" {
+		t.Fatalf("experiments lost: %+v", got.Experiments)
+	}
+	if got.Metrics == nil || got.Metrics.Counters["memo.hits"] != 42 {
+		t.Fatalf("metrics snapshot lost: %+v", got.Metrics)
+	}
+	if got.Build.Module != "vasppower" {
+		t.Fatalf("build info lost: %+v", got.Build)
+	}
+}

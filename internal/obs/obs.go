@@ -1,0 +1,41 @@
+// Package obs is the run-telemetry layer of the measurement engine:
+// metrics, spans, run manifests, and a debug HTTP endpoint. The paper
+// only exists because NERSC's LDMS/OMNI pipeline (§II-B) observed
+// every host; obs applies the same discipline to the reproduction
+// itself, so a long sweep is never a black box.
+//
+// Everything here is dependency-free (stdlib only) and zero-cost when
+// off: every recorder is nil-safe — a nil *Registry hands out nil
+// metrics, and a nil *Counter, *Gauge, *Histogram, *Tracer, *Span, or
+// *Obs no-ops on every method — so instrumented hot paths pay one nil
+// check when observability is disabled, which is the default.
+// Metrics and spans never write to stdout; the byte-identical -quick
+// golden output is unaffected whether telemetry is on or off.
+package obs
+
+// Obs bundles the telemetry sinks one run threads through the system.
+// The zero value and the nil pointer are both fully usable no-ops.
+type Obs struct {
+	Metrics *Registry
+	Tracer  *Tracer
+}
+
+// New returns an Obs with a live metrics registry and no tracer.
+func New() *Obs { return &Obs{Metrics: NewRegistry()} }
+
+// Reg returns the registry (nil when o is nil or tracing-only).
+func (o *Obs) Reg() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics
+}
+
+// Span starts a span on the bundled tracer; nil-safe at every level,
+// so callers can unconditionally `defer o.Span("x").End()`.
+func (o *Obs) Span(name string) *Span {
+	if o == nil {
+		return nil
+	}
+	return o.Tracer.Start(name)
+}

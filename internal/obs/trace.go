@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Tracer emits completed spans as JSON lines (one object per line) to
+// an io.Writer — the run's trace file. It is safe for concurrent use;
+// a nil tracer hands out nil spans, so instrumented code can trace
+// unconditionally.
+//
+// A span line looks like:
+//
+//	{"span":"measure","start":"2026-08-05T12:00:00.000Z","ms":12.4,"bench":"Si256_hse","cache_hit":false}
+//
+// Attribute keys set via Set land at the top level of the object
+// (encoding/json sorts map keys, so the layout is stable); "span",
+// "start", and "ms" are reserved.
+type Tracer struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewTracer returns a tracer writing JSON lines to w. The caller owns
+// w's lifetime (closing files, etc.).
+func NewTracer(w io.Writer) *Tracer { return &Tracer{w: w} }
+
+// Span is one timed operation. Create with Tracer.Start, annotate with
+// Set, and emit with End. All methods no-op on a nil span. A span must
+// be annotated and ended by the goroutine that started it.
+type Span struct {
+	t     *Tracer
+	name  string
+	start time.Time
+	attrs map[string]any
+}
+
+// Start opens a span; nothing is written until End.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, name: name, start: time.Now()}
+}
+
+// Set attaches an attribute to the span, returning the span so calls
+// chain. Values must be JSON-marshalable.
+func (s *Span) Set(key string, value any) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.attrs == nil {
+		s.attrs = make(map[string]any, 8)
+	}
+	s.attrs[key] = value
+	return s
+}
+
+// End records the duration and writes the span as one JSON line.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	line := make(map[string]any, len(s.attrs)+3)
+	for k, v := range s.attrs {
+		line[k] = v
+	}
+	line["span"] = s.name
+	line["start"] = s.start.UTC().Format(time.RFC3339Nano)
+	line["ms"] = float64(time.Since(s.start)) / float64(time.Millisecond)
+	buf, err := json.Marshal(line)
+	if err != nil {
+		// An unmarshalable attribute is a programming error in the
+		// instrumentation; drop the span rather than corrupt the file.
+		return
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	s.t.w.Write(append(buf, '\n'))
+}

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSpanEmitsJSONLine(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	sp := tr.Start("measure")
+	sp.Set("bench", "Si256_hse").Set("cache_hit", false).Set("nodes", 2)
+	sp.End()
+
+	line := strings.TrimSuffix(buf.String(), "\n")
+	if strings.Contains(line, "\n") {
+		t.Fatalf("span emitted more than one line: %q", line)
+	}
+	var got map[string]any
+	if err := json.Unmarshal([]byte(line), &got); err != nil {
+		t.Fatalf("span line is not JSON: %v\n%q", err, line)
+	}
+	if got["span"] != "measure" || got["bench"] != "Si256_hse" || got["cache_hit"] != false {
+		t.Fatalf("span fields wrong: %v", got)
+	}
+	if _, ok := got["ms"].(float64); !ok {
+		t.Fatalf("span has no numeric ms: %v", got)
+	}
+	if _, ok := got["start"].(string); !ok {
+		t.Fatalf("span has no start timestamp: %v", got)
+	}
+}
+
+func TestTracerConcurrentSpansStayLineAtomic(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	const n = 64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr.Start("s").Set("i", i).End()
+		}(i)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != n {
+		t.Fatalf("got %d lines, want %d", len(lines), n)
+	}
+	for _, l := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(l), &m); err != nil {
+			t.Fatalf("interleaved/corrupt trace line %q: %v", l, err)
+		}
+	}
+}
+
+func TestNilTracerSpans(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("x")
+	if sp != nil {
+		t.Fatal("nil tracer returned a live span")
+	}
+	sp.Set("k", "v").End() // must not panic
+}

@@ -12,9 +12,36 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"vasppower/internal/obs"
 	"vasppower/internal/timeseries"
 )
+
+// Metrics counts store traffic across every Store in the process —
+// the reproduction's stand-in for OMNI's own ingest/query accounting.
+// Inserts counts accepted Insert calls (rejected ones are not stored,
+// so they are not counted); Queries counts Query calls, including the
+// per-node queries JobPower fans out. Install with SetMetrics; the
+// nil default costs one atomic load per operation.
+type Metrics struct {
+	Inserts *obs.Counter
+	Queries *obs.Counter
+}
+
+// NewMetrics registers the store metric set under "omni." in reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Inserts: reg.Counter("omni.inserts"),
+		Queries: reg.Counter("omni.queries"),
+	}
+}
+
+var metrics atomic.Pointer[Metrics]
+
+// SetMetrics installs (or, with nil, removes) the process-wide store
+// metrics. Install once at startup, before stores see traffic.
+func SetMetrics(m *Metrics) { metrics.Store(m) }
 
 // Store is the telemetry database.
 type Store struct {
@@ -81,6 +108,9 @@ func (s *Store) Insert(host, metric string, data timeseries.Series) error {
 	existing.Times = append(existing.Times, data.Times...)
 	existing.Values = append(existing.Values, data.Values...)
 	hm[metric] = existing
+	if m := metrics.Load(); m != nil {
+		m.Inserts.Add(1)
+	}
 	return nil
 }
 
@@ -111,6 +141,9 @@ func (s *Store) MetricsOf(host string) []string {
 
 // Query returns the samples of (host, metric) with t ∈ [t0, t1].
 func (s *Store) Query(host, metric string, t0, t1 float64) (timeseries.Series, error) {
+	if m := metrics.Load(); m != nil {
+		m.Queries.Add(1)
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	hm, ok := s.series[host]

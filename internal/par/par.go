@@ -15,6 +15,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"vasppower/internal/obs"
 )
 
 // Workers resolves a configured worker count: values <= 0 mean "one
@@ -26,29 +29,139 @@ func Workers(n int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// Metrics is the pool's observability hook, shared by every ForEach in
+// the process (the measurement engine nests pools — experiments fan
+// out sweeps which fan out repeats — and one ledger across all of them
+// is what makes a run's manifest legible). ItemsStarted counts fn
+// invocations; ItemsCompleted counts fn returns (successful or not);
+// ItemsSkipped counts items never run because cancellation or an
+// earlier error landed first, so cancelled runs are visible instead of
+// silently short. BusyNS accumulates per-worker busy time across the
+// pool, ItemMS is the per-item duration distribution, and QueueDepth
+// tracks items accepted but not yet claimed.
+type Metrics struct {
+	ItemsStarted   *obs.Counter
+	ItemsCompleted *obs.Counter
+	ItemsSkipped   *obs.Counter
+	BusyNS         *obs.Counter
+	ItemMS         *obs.Histogram
+	QueueDepth     *obs.Gauge
+}
+
+// itemBucketsMS spans trimmed -quick items (sub-ms) to full
+// paper-protocol measurements (tens of seconds).
+var itemBucketsMS = []float64{1, 10, 100, 1000, 10000, 60000}
+
+// NewMetrics registers the pool metric set under "par." in reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		ItemsStarted:   reg.Counter("par.items_started"),
+		ItemsCompleted: reg.Counter("par.items_completed"),
+		ItemsSkipped:   reg.Counter("par.items_skipped"),
+		BusyNS:         reg.Counter("par.worker_busy_ns"),
+		ItemMS:         reg.Histogram("par.item_ms", itemBucketsMS),
+		QueueDepth:     reg.Gauge("par.queue_depth"),
+	}
+}
+
+// metrics is the process-wide recorder; nil (the default) makes every
+// ForEach metrics-free at the cost of one atomic load per call.
+var metrics atomic.Pointer[Metrics]
+
+// SetMetrics installs (or, with nil, removes) the process-wide pool
+// metrics. Install once at startup, before pools run.
+func SetMetrics(m *Metrics) { metrics.Store(m) }
+
+// tracker scopes one ForEach call's contribution to the global
+// metrics. A nil-metrics tracker no-ops everywhere.
+type tracker struct {
+	m       *Metrics
+	n       int64
+	claimed atomic.Int64
+	started atomic.Int64
+}
+
+func newTracker(n int) *tracker {
+	t := &tracker{m: metrics.Load(), n: int64(n)}
+	if t.m != nil {
+		t.m.QueueDepth.Add(t.n)
+	}
+	return t
+}
+
+// claim marks one item as taken off the queue (it may still be
+// skipped if cancellation already landed).
+func (t *tracker) claim() {
+	if t.m == nil {
+		return
+	}
+	t.claimed.Add(1)
+	t.m.QueueDepth.Add(-1)
+}
+
+// run times one fn invocation.
+func (t *tracker) run(fn func() error) error {
+	if t.m == nil {
+		return fn()
+	}
+	t.started.Add(1)
+	t.m.ItemsStarted.Add(1)
+	start := time.Now()
+	err := fn()
+	d := time.Since(start)
+	t.m.BusyNS.Add(int64(d))
+	t.m.ItemMS.Observe(float64(d) / 1e6)
+	t.m.ItemsCompleted.Add(1)
+	return err
+}
+
+// finish drains the queue-depth contribution of unclaimed items and
+// records every item that never ran as skipped.
+func (t *tracker) finish() {
+	if t.m == nil {
+		return
+	}
+	t.m.QueueDepth.Add(-(t.n - t.claimed.Load()))
+	t.m.ItemsSkipped.Add(t.n - t.started.Load())
+}
+
 // ForEach invokes fn(ctx, i) for every i in [0, n), running at most
 // `workers` invocations concurrently (workers <= 1 runs serially in
 // index order). The first error cancels the shared context; items
-// that have not started when the cancellation lands are skipped.
-// ForEach returns after all in-flight items finish, reporting the
-// lowest-index error among the items that ran. When exactly one item
-// can fail (the usual case: errors here are deterministic functions
-// of the item), that is the same error the serial loop stops at;
-// callers that need every item's error regardless of scheduling store
-// per-index errors and return nil from fn.
+// that have not started when the cancellation lands are skipped and
+// counted in Metrics.ItemsSkipped. A context that is already cancelled
+// on entry returns ctx.Err() with every item skipped — never a silent
+// success. ForEach returns after all in-flight items finish, reporting
+// the lowest-index error among the items that ran. When exactly one
+// item can fail (the usual case: errors here are deterministic
+// functions of the item), that is the same error the serial loop stops
+// at; callers that need every item's error regardless of scheduling
+// store per-index errors and return nil from fn.
 func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
 	if n <= 0 {
 		return ctx.Err()
 	}
+	if err := ctx.Err(); err != nil {
+		// Already cancelled before any item could start: report it
+		// (and make the n skipped items visible) rather than falling
+		// through to a path that might mask the cancellation.
+		if m := metrics.Load(); m != nil {
+			m.ItemsSkipped.Add(int64(n))
+		}
+		return err
+	}
 	if workers > n {
 		workers = n
 	}
+	tk := newTracker(n)
+	defer tk.finish()
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := fn(ctx, i); err != nil {
+			tk.claim()
+			if err := tk.run(func() error { return fn(ctx, i) }); err != nil {
 				return err
 			}
 		}
@@ -82,10 +195,11 @@ func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i
 				if i >= n {
 					return
 				}
+				tk.claim()
 				if ctx.Err() != nil {
 					return
 				}
-				if err := fn(ctx, i); err != nil {
+				if err := tk.run(func() error { return fn(ctx, i) }); err != nil {
 					record(i, err)
 					return
 				}
