@@ -126,4 +126,10 @@ func TestObservabilityRun(t *testing.T) {
 	if m.Metrics.Counters["par.items_started"] == 0 {
 		t.Fatal("par.items_started = 0; the worker pool is not being observed")
 	}
+	if m.Metrics.Counters["timeseries.sum_segments"] == 0 {
+		t.Fatal("timeseries.sum_segments = 0; trace summation is not being observed")
+	}
+	if m.Metrics.Counters["timeseries.samples"] == 0 {
+		t.Fatal("timeseries.samples = 0; the sampling pipeline is not being observed")
+	}
 }

@@ -17,6 +17,7 @@ import (
 	"vasppower/internal/omni"
 	"vasppower/internal/par"
 	"vasppower/internal/sim"
+	"vasppower/internal/timeseries"
 	"vasppower/internal/workloads"
 )
 
@@ -108,20 +109,23 @@ func measureKey(p platform.Platform, b workloads.Benchmark, nodes, repeats int, 
 
 // Instrument threads reg through every hot path the measurement
 // engine owns: the measurement cache, the worker pools, the simulation
-// engine, and the OMNI store. Call once at startup (a nil reg detaches
-// everything); telemetry is process-wide from then on.
+// engine, the OMNI store, and the trace pipeline. Call once at startup
+// (a nil reg detaches everything); telemetry is process-wide from then
+// on.
 func Instrument(reg *obs.Registry) {
 	if reg == nil {
 		cache.Instrument(nil)
 		par.SetMetrics(nil)
 		sim.SetMetrics(nil)
 		omni.SetMetrics(nil)
+		timeseries.SetMetrics(nil)
 		return
 	}
 	cache.Instrument(memo.NewMetrics(reg, "memo"))
 	par.SetMetrics(par.NewMetrics(reg))
 	sim.SetMetrics(sim.NewMetrics(reg))
 	omni.SetMetrics(omni.NewMetrics(reg))
+	timeseries.SetMetrics(timeseries.NewMetrics(reg))
 }
 
 // measure runs (or recalls) one benchmark measurement on cfg's

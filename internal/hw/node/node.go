@@ -41,6 +41,16 @@ type Node struct {
 	cpuTrace  timeseries.Trace
 	memTrace  timeseries.Trace
 	gpuTraces []timeseries.Trace
+
+	// Memoized derived traces. TotalTrace and GPUSumTrace are read
+	// once per metric by the telemetry pipeline and again by the
+	// analysis layer; recomputing the k-way sum on every sensor read
+	// dominated profile assembly. Record and ResetTraces invalidate
+	// both. The cached traces are shared across callers, which must
+	// treat them as read-only (the same contract Segments already
+	// states).
+	totalCache  *timeseries.Trace
+	gpuSumCache *timeseries.Trace
 }
 
 // New builds a node of the given platform. r seeds per-node
@@ -150,6 +160,7 @@ func (n *Node) Record(dur float64, p ComponentPowers) {
 	if dur == 0 {
 		return
 	}
+	n.totalCache, n.gpuSumCache = nil, nil
 	n.cpuTrace.Append(dur, p.CPU)
 	n.memTrace.Append(dur, p.Mem)
 	for i := range n.gpuTraces {
@@ -169,28 +180,33 @@ func (n *Node) MemTrace() *timeseries.Trace { return &n.memTrace }
 // GPUTrace returns GPU i's power trace.
 func (n *Node) GPUTrace(i int) *timeseries.Trace { return &n.gpuTraces[i] }
 
-// GPUSumTrace returns the pointwise sum of all GPU traces.
+// GPUSumTrace returns the pointwise sum of all GPU traces. The result
+// is memoized until the next Record or ResetTraces; callers must not
+// mutate it.
 func (n *Node) GPUSumTrace() *timeseries.Trace {
-	traces := make([]*timeseries.Trace, len(n.gpuTraces))
-	for i := range n.gpuTraces {
-		traces[i] = &n.gpuTraces[i]
+	if n.gpuSumCache == nil {
+		traces := make([]*timeseries.Trace, len(n.gpuTraces))
+		for i := range n.gpuTraces {
+			traces[i] = &n.gpuTraces[i]
+		}
+		n.gpuSumCache = timeseries.Sum(traces...)
 	}
-	return timeseries.Sum(traces...)
+	return n.gpuSumCache
 }
 
 // TotalTrace returns the node power trace: all components plus the
 // constant peripheral draw. This is what the node-level sensor reads.
+// The result is memoized until the next Record or ResetTraces;
+// callers must not mutate it.
 func (n *Node) TotalTrace() *timeseries.Trace {
-	traces := []*timeseries.Trace{&n.cpuTrace, &n.memTrace}
-	for i := range n.gpuTraces {
-		traces = append(traces, &n.gpuTraces[i])
+	if n.totalCache == nil {
+		traces := []*timeseries.Trace{&n.cpuTrace, &n.memTrace}
+		for i := range n.gpuTraces {
+			traces = append(traces, &n.gpuTraces[i])
+		}
+		n.totalCache = timeseries.Sum(traces...).AddConstant(n.peripheralWatts)
 	}
-	components := timeseries.Sum(traces...)
-	out := &timeseries.Trace{}
-	for _, s := range components.Segments() {
-		out.Append(s.Dur, s.Power+n.peripheralWatts)
-	}
-	return out
+	return n.totalCache
 }
 
 // TraceDuration returns the recorded duration (identical across
@@ -200,6 +216,7 @@ func (n *Node) TraceDuration() float64 { return n.cpuTrace.Duration() }
 // ResetTraces clears all recorded traces (e.g. between benchmark
 // repeats) without touching device state such as power limits.
 func (n *Node) ResetTraces() {
+	n.totalCache, n.gpuSumCache = nil, nil
 	n.cpuTrace = timeseries.Trace{}
 	n.memTrace = timeseries.Trace{}
 	for i := range n.gpuTraces {

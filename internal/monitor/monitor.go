@@ -101,11 +101,16 @@ func GPUMetric(i int) string {
 // returning series keyed by metric name. Distinct metrics use
 // decorrelated drop streams (drops are per-sampler in LDMS), derived
 // from the node name so re-sampling is reproducible.
+//
+// Metrics are read in the deterministic Metrics(n.NumGPUs()) order —
+// not Go's randomized map order — so telemetry emitted while sampling
+// (spans, timeseries.* counters) appears in a stable order across
+// runs. The results themselves were always order-independent: each
+// metric's drop stream is derived by label, not by draw order.
 func SampleNode(n *node.Node, cfg Config) (map[string]timeseries.Series, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	out := make(map[string]timeseries.Series, 3+n.NumGPUs())
 	traces := map[string]*timeseries.Trace{
 		MetricNode:   n.TotalTrace(),
 		MetricCPU:    n.CPUTrace(),
@@ -114,13 +119,14 @@ func SampleNode(n *node.Node, cfg Config) (map[string]timeseries.Series, error) 
 	for i := 0; i < n.NumGPUs(); i++ {
 		traces[GPUMetric(i)] = n.GPUTrace(i)
 	}
+	out := make(map[string]timeseries.Series, len(traces))
 	root := rng.New(cfg.Seed).Split(n.Name)
-	for metric, tr := range traces {
+	for _, metric := range Metrics(n.NumGPUs()) {
 		c := cfg
 		if c.DropProb > 0 {
 			c.Seed = root.Split(metric).Uint64()
 		}
-		s, err := Sample(tr, c)
+		s, err := Sample(traces[metric], c)
 		if err != nil {
 			return nil, err
 		}

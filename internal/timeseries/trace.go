@@ -140,16 +140,25 @@ func (t *Trace) PowerAt(x float64) float64 {
 
 // EnergyBetween integrates power over [a, b] exactly. Portions outside
 // the trace contribute nothing. Returns 0 if b <= a.
+//
+// Cost is O(log n + w) for a window overlapping w segments: a binary
+// search locates the first segment ending after a, and the scan stops
+// at the first segment starting at or after b. Segments outside that
+// range contributed nothing to the original full scan, so restricting
+// to it leaves the sum — and its floating-point addition order —
+// bit-identical (pinned against energyBetweenReference by the
+// differential tests).
 func (t *Trace) EnergyBetween(a, b float64) float64 {
 	if b <= a || len(t.segs) == 0 {
 		return 0
 	}
+	i := sort.Search(len(t.segs), func(i int) bool { return t.segs[i].End() > a })
 	var e float64
-	for _, s := range t.segs {
-		lo := math.Max(a, s.Start)
-		hi := math.Min(b, s.End())
+	for ; i < len(t.segs) && t.segs[i].Start < b; i++ {
+		lo := math.Max(a, t.segs[i].Start)
+		hi := math.Min(b, t.segs[i].End())
 		if hi > lo {
-			e += s.Power * (hi - lo)
+			e += t.segs[i].Power * (hi - lo)
 		}
 	}
 	return e
@@ -186,6 +195,19 @@ func (t *Trace) Scale(k float64) *Trace {
 	return c
 }
 
+// AddConstant returns a new trace with k added to every power value
+// (how the node sensor layers the unmetered peripheral draw onto the
+// component sum). The result is built through Append into a
+// preallocated trace, so adjacent segments whose offset powers round
+// to the same value merge exactly as if appended directly.
+func (t *Trace) AddConstant(k float64) *Trace {
+	c := &Trace{segs: make([]Segment, 0, len(t.segs))}
+	for _, s := range t.segs {
+		c.Append(s.Dur, s.Power+k)
+	}
+	return c
+}
+
 // Shift returns a new trace whose origin is moved by dt seconds
 // (dt >= 0): a zero-power segment of length dt is prepended.
 func (t *Trace) Shift(dt float64) *Trace {
@@ -202,54 +224,121 @@ func (t *Trace) Shift(dt float64) *Trace {
 	return c
 }
 
+// sumCursor tracks one non-empty input trace through the k-way merge
+// in Sum. bi walks the trace's boundary stream — Start then End of
+// each segment, in order, 2n points total — and si walks segments for
+// the power lookup (query midpoints are non-decreasing, so si only
+// moves forward).
+type sumCursor struct {
+	segs []Segment
+	dur  float64
+	bi   int // next boundary index in [0, 2·len(segs)]
+	si   int // current segment for power lookups
+}
+
+// boundary returns the cursor's next unconsumed breakpoint.
+func (c *sumCursor) boundary() float64 {
+	if c.bi%2 == 0 {
+		return c.segs[c.bi/2].Start
+	}
+	return c.segs[c.bi/2].End()
+}
+
 // Sum returns the pointwise sum of the given traces. Each input is
 // treated as zero outside its own duration, so traces of different
 // lengths may be summed; the result spans the longest input. The sum
 // of zero traces is an empty trace.
+//
+// Sum is a k-way cursor merge over the inputs' segment boundaries:
+// O(B·k) for B total boundaries across k traces, with one output
+// allocation, replacing the former global sort (O(B log B)) and the
+// per-interval PowerAt binary searches (O(B·k·log n)). Each trace's
+// boundary stream is already sorted (segments are contiguous with
+// positive durations), so the merged breakpoint sequence is
+// value-identical to the old sorted slice, the eps-deduplication sees
+// the same values in the same order, and the per-interval power sum
+// still adds traces in argument order — every float matches the
+// reference bit for bit (pinned by the differential tests against
+// sumReference).
 func Sum(traces ...*Trace) *Trace {
-	// Collect all breakpoints.
-	var points []float64
+	const eps = 1e-12
+	cursors := make([]sumCursor, 0, len(traces))
+	boundaries := 0
 	for _, tr := range traces {
-		for _, s := range tr.segs {
-			points = append(points, s.Start, s.End())
+		// Empty traces contribute no breakpoints and no power (their
+		// duration is 0); dropping them here preserves the argument
+		// order of the remaining traces, and with it the power
+		// summation order.
+		if len(tr.segs) == 0 {
+			continue
 		}
+		cursors = append(cursors, sumCursor{segs: tr.segs, dur: tr.Duration()})
+		boundaries += 2 * len(tr.segs)
 	}
-	if len(points) == 0 {
+	if len(cursors) == 0 {
 		return &Trace{}
 	}
-	sort.Float64s(points)
-	// Deduplicate (within a tiny tolerance to absorb fp noise from
-	// repeated accumulation of segment durations).
-	const eps = 1e-12
-	uniq := points[:1]
-	for _, p := range points[1:] {
-		if p-uniq[len(uniq)-1] > eps {
-			uniq = append(uniq, p)
-		}
-	}
-	out := &Trace{}
-	for i := 0; i+1 < len(uniq); i++ {
-		a, b := uniq[i], uniq[i+1]
-		mid := (a + b) / 2
-		var p float64
-		for _, tr := range traces {
-			if mid >= 0 && mid < tr.Duration() {
-				p += tr.PowerAt(mid)
+	out := &Trace{segs: make([]Segment, 0, boundaries)}
+	first := true
+	var origin, prev float64
+	for {
+		// Pull the smallest unconsumed breakpoint. k is small (one
+		// cursor per component trace), so a linear scan beats a heap.
+		best := -1
+		var bv float64
+		for i := range cursors {
+			c := &cursors[i]
+			if c.bi == 2*len(c.segs) {
+				continue
+			}
+			if v := c.boundary(); best < 0 || v < bv {
+				best, bv = i, v
 			}
 		}
-		out.Append(b-a, p)
+		if best < 0 {
+			break
+		}
+		cursors[best].bi++
+		if first {
+			origin, prev, first = bv, bv, false
+			continue
+		}
+		// Deduplicate against the last kept breakpoint (within a tiny
+		// tolerance to absorb fp noise from repeated accumulation of
+		// segment durations).
+		if bv-prev <= eps {
+			continue
+		}
+		mid := (prev + bv) / 2
+		var p float64
+		for i := range cursors {
+			c := &cursors[i]
+			for c.si < len(c.segs) && c.segs[c.si].End() <= mid {
+				c.si++
+			}
+			if mid >= 0 && mid < c.dur {
+				if c.si < len(c.segs) {
+					p += c.segs[c.si].Power
+				} else {
+					p += c.segs[len(c.segs)-1].Power
+				}
+			}
+		}
+		out.Append(bv-prev, p)
+		prev = bv
 	}
 	// Normalize origin: Sum assumes all traces start at 0; if the first
 	// breakpoint is positive, prepend zero power from t=0.
-	if len(out.segs) > 0 && uniq[0] > eps {
-		shifted := &Trace{}
-		shifted.Append(uniq[0], 0)
+	if len(out.segs) > 0 && origin > eps {
+		shifted := &Trace{segs: make([]Segment, 0, len(out.segs)+1)}
+		shifted.Append(origin, 0)
 		for _, s := range out.segs {
 			shifted.Append(s.Dur, s.Power)
 		}
+		countSumSegments(shifted.Len())
 		return shifted
 	}
-	// Fix up start times after the merge-on-append optimization.
+	countSumSegments(out.Len())
 	return out
 }
 
@@ -264,36 +353,112 @@ func (t *Trace) Concat(src *Trace) {
 // windows of length interval seconds, timestamping each sample at the
 // window end (as a polling sampler would). The final partial window,
 // if any, is averaged over the covered portion.
+//
+// Sampling a whole trace is O(n + m) for n segments and m windows: a
+// segment cursor carries across windows instead of every window
+// rescanning all segments (O(n·m) before). Values are bit-identical
+// to the reference (pinned against sampleReference): segments skipped
+// by the cursor contributed +0.0 to each window's energy, so the
+// in-order summation over overlapping segments is unchanged.
 func (t *Trace) Sample(interval float64) Series {
 	if interval <= 0 {
 		panic("timeseries: non-positive sampling interval")
 	}
 	dur := t.Duration()
 	n := int(math.Ceil(dur/interval - 1e-9))
+	if n < 0 {
+		n = 0
+	}
 	s := Series{
 		Times:  make([]float64, 0, n),
 		Values: make([]float64, 0, n),
 	}
+	cur := 0
 	for i := 0; i < n; i++ {
 		a := float64(i) * interval
 		b := math.Min(a+interval, dur)
 		s.Times = append(s.Times, b)
-		s.Values = append(s.Values, t.MeanBetween(a, b))
+		s.Values = append(s.Values, t.meanBetweenFrom(&cur, a, b))
 	}
+	countSamples(n)
 	return s
+}
+
+// meanBetweenFrom is MeanBetween with a resumable segment cursor:
+// *cur is advanced past segments that end at or before a, so sampling
+// consecutive windows visits each segment O(1) times overall (the
+// last overlapping segment is re-examined by the next window, which
+// amortizes to a constant). Window starts must be non-decreasing
+// across calls sharing a cursor. The guard structure and the
+// per-segment additions mirror meanBetweenReference exactly.
+func (t *Trace) meanBetweenFrom(cur *int, a, b float64) float64 {
+	if b <= a || len(t.segs) == 0 {
+		return 0
+	}
+	covLo := math.Max(a, t.segs[0].Start)
+	covHi := math.Min(b, t.Duration())
+	if covHi <= covLo {
+		return 0
+	}
+	for *cur < len(t.segs) && t.segs[*cur].End() <= a {
+		*cur++
+	}
+	var e float64
+	for j := *cur; j < len(t.segs) && t.segs[j].Start < b; j++ {
+		lo := math.Max(a, t.segs[j].Start)
+		hi := math.Min(b, t.segs[j].End())
+		if hi > lo {
+			e += t.segs[j].Power * (hi - lo)
+		}
+	}
+	return e / (covHi - covLo)
 }
 
 // SampleInstant produces a Series of instantaneous power readings at
 // t = interval, 2·interval, ... (decimation rather than averaging).
+// Query points are non-decreasing, so a segment cursor replaces the
+// per-sample binary search: O(n + m) for the whole trace. Times and
+// Values are preallocated with the expected sample count.
 func (t *Trace) SampleInstant(interval float64) Series {
 	if interval <= 0 {
 		panic("timeseries: non-positive sampling interval")
 	}
 	dur := t.Duration()
-	s := Series{}
+	// The loop below accumulates x by interval steps, so it emits
+	// floor((dur+1e-9)/interval) samples up to fp accumulation error;
+	// the count is used as capacity only.
+	n := int((dur + 1e-9) / interval)
+	if n < 0 {
+		n = 0
+	}
+	s := Series{
+		Times:  make([]float64, 0, n),
+		Values: make([]float64, 0, n),
+	}
+	cur := 0
 	for x := interval; x <= dur+1e-9; x += interval {
 		s.Times = append(s.Times, x)
-		s.Values = append(s.Values, t.PowerAt(math.Min(x, dur)-1e-12))
+		s.Values = append(s.Values, t.powerAtFrom(&cur, math.Min(x, dur)-1e-12))
 	}
+	countSamples(s.Len())
 	return s
+}
+
+// powerAtFrom is PowerAt with a resumable cursor for non-decreasing
+// query points: *cur rests on the first segment ending after the last
+// query. Semantics match PowerAt exactly — queries before the first
+// segment read its power (cur stays 0), queries at or past the end
+// read the last segment's power.
+func (t *Trace) powerAtFrom(cur *int, x float64) float64 {
+	n := len(t.segs)
+	if n == 0 {
+		return 0
+	}
+	for *cur < n && t.segs[*cur].End() <= x {
+		*cur++
+	}
+	if *cur == n {
+		return t.segs[n-1].Power
+	}
+	return t.segs[*cur].Power
 }
