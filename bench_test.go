@@ -200,3 +200,54 @@ func BenchmarkExtGMetricAblation(b *testing.B) {
 		}
 	}
 }
+
+// Warm-disk variants: each measures a runner against a populated
+// persistent cache, with the memory tier reset every iteration — the
+// shape of a warm-start sweep, where a fresh process finds every
+// measurement already on disk. Compare against the plain benchmark of
+// the same runner for the warm-vs-cold ratio (BENCH.md records both).
+//
+// warmDisk attaches a fresh disk tier, runs populate once to fill it,
+// and resets the timer so only warm iterations are measured.
+func warmDisk(b *testing.B, populate func() error) {
+	b.Helper()
+	experiments.ResetCache()
+	if _, err := experiments.EnableDiskCache(b.TempDir(), 0); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(experiments.DisableDiskCache)
+	if err := populate(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+}
+
+func BenchmarkTableIWarmDisk(b *testing.B) {
+	warmDisk(b, func() error { _, err := experiments.RunTableI(benchCfg()); return err })
+	for i := 0; i < b.N; i++ {
+		experiments.ResetCache()
+		if _, err := experiments.RunTableI(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4And5ScalingWarmDisk(b *testing.B) {
+	warmDisk(b, func() error { _, err := experiments.RunScaling(benchCfg()); return err })
+	for i := 0; i < b.N; i++ {
+		experiments.ResetCache()
+		if _, err := experiments.RunScaling(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10And12CapStudyWarmDisk(b *testing.B) {
+	warmDisk(b, func() error { _, err := experiments.RunCapStudy(benchCfg()); return err })
+	for i := 0; i < b.N; i++ {
+		experiments.ResetCache()
+		if _, err := experiments.RunCapStudy(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,6 +1,11 @@
 // Command calibrate prints the model's power/performance landing
 // points against the paper's published targets, for tuning the
 // workload-model constants.
+//
+// Every measurement goes through the process-wide two-tier result
+// cache; with -cache-dir set, repeated calibration passes (the whole
+// point of the tool) reuse each other's simulations instead of
+// re-running them.
 package main
 
 import (
@@ -9,17 +14,29 @@ import (
 	"os"
 
 	"vasppower/internal/core"
+	"vasppower/internal/experiments"
+	"vasppower/internal/hw/platform"
 	"vasppower/internal/obs"
 	"vasppower/internal/workloads"
 )
 
 func main() {
+	cacheDir := flag.String("cache-dir", "", "persistent measurement-cache directory (empty = in-memory only)")
+	cacheMaxBytes := flag.Int64("cache-max-bytes", 1<<30, "persistent cache size bound in bytes, LRU-evicted (0 = unbounded)")
 	version := flag.Bool("version", false, "print module version, VCS revision, and dirty flag, then exit")
 	flag.Parse()
 	if *version {
 		fmt.Println(obs.VersionString("calibrate"))
 		return
 	}
+	if *cacheDir != "" {
+		if _, err := experiments.EnableDiskCache(*cacheDir, *cacheMaxBytes); err != nil {
+			fmt.Fprintln(os.Stderr, "calibrate:", err)
+			os.Exit(2)
+		}
+	}
+
+	measure := experiments.CachedMeasureSpec
 
 	fmt.Println("=== Table I benchmarks @ 1 node (targets: node mode 766..1814 W) ===")
 	fmt.Printf("%-14s %9s %9s %9s %8s %8s %8s\n",
@@ -29,7 +46,7 @@ func main() {
 		"GaAsBi-64": 766, "CuC_vdw": 950, "Si128_acfdtr": 1814,
 	}
 	for _, b := range workloads.TableI() {
-		jp, err := core.Measure(core.MeasureSpec{Bench: b, Nodes: 1, Seed: 42})
+		jp, err := measure(core.MeasureSpec{Bench: b, Nodes: 1, Seed: 42})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", b.Name, err)
 			continue
@@ -50,25 +67,45 @@ func main() {
 	fmt.Println("\n=== Cap response (targets: 300W ~0%, 200W ~9% hungry, 100W ~60% hungry / <5% GaAsBi,PdO2) ===")
 	for _, name := range []string{"Si256_hse", "Si128_acfdtr", "GaAsBi-64", "PdO2"} {
 		b, _ := workloads.ByName(name)
-		cr, err := core.MeasureCapResponse(core.MeasureSpec{Bench: b, Nodes: b.OptimalNodes, Seed: 42},
-			[]float64{400, 300, 200, 100})
+		base, err := measure(core.MeasureSpec{Bench: b, Nodes: b.OptimalNodes, Seed: 42})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			continue
 		}
+		tdp := platform.Default().GPU.TDP
 		fmt.Printf("%-14s @%d nodes: ", name, b.OptimalNodes)
-		for _, p := range cr.Points {
-			slow := p.Runtime/cr.Baseline - 1
-			fmt.Printf(" %3.0fW:%+5.1f%%(mode %3.0f)", p.CapW, slow*100, p.GPUHighMode)
+		for _, capW := range []float64{400, 300, 200, 100} {
+			// A cap at or above the GPU's TDP is the default limit and
+			// reuses the baseline, as on the real machine.
+			jp := base
+			if capW > 0 && capW < tdp {
+				jp, err = measure(core.MeasureSpec{Bench: b, Nodes: b.OptimalNodes, CapW: capW, Seed: 42})
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "%s @%v W: %v\n", name, capW, err)
+					continue
+				}
+			}
+			slow := jp.Runtime/base.Runtime - 1
+			gpuMode, cnt := 0.0, 0
+			for _, g := range jp.GPUs {
+				if g.HasMode {
+					gpuMode += g.HighMode.X
+					cnt++
+				}
+			}
+			if cnt > 0 {
+				gpuMode /= float64(cnt)
+			}
+			fmt.Printf(" %3.0fW:%+5.1f%%(mode %3.0f)", capW, slow*100, gpuMode)
 		}
 		fmt.Println()
 	}
 
 	fmt.Println("\n=== Parallel efficiency, Si256_hse (target: >=70% to ~8-16 nodes) ===")
 	b, _ := workloads.ByName("Si256_hse")
-	base, _ := core.Measure(core.MeasureSpec{Bench: b, Nodes: 1, Seed: 42})
+	base, _ := measure(core.MeasureSpec{Bench: b, Nodes: 1, Seed: 42})
 	for _, n := range []int{2, 4, 8, 16, 32} {
-		jp, err := core.Measure(core.MeasureSpec{Bench: b, Nodes: n, Seed: 42})
+		jp, err := measure(core.MeasureSpec{Bench: b, Nodes: n, Seed: 42})
 		if err != nil {
 			fmt.Printf("  %2d nodes: %v\n", n, err)
 			continue

@@ -8,6 +8,12 @@
 //	minivasp -incar INCAR [-kpoints KPOINTS] -si-atoms 256 [-nodes 1]
 //	minivasp -milc [-nodes 2] [-cap 200]        (the MILC application)
 //
+// VASP measurements run through the process-wide two-tier result
+// cache; with -cache-dir set, re-running the same job (same inputs,
+// nodes, cap, seed) serves its profile from disk instead of
+// re-simulating. The MILC path keeps its own raw-trace pipeline and is
+// not cached.
+//
 // The second form parses real VASP input files (INCAR and optionally
 // KPOINTS) and applies them to a silicon supercell of the given size,
 // deriving FFT grids, plane-wave counts, and default band counts the
@@ -23,6 +29,7 @@ import (
 	"vasppower/internal/dft/incar"
 	"vasppower/internal/dft/lattice"
 	"vasppower/internal/dft/method"
+	"vasppower/internal/experiments"
 	"vasppower/internal/obs"
 	"vasppower/internal/report"
 	"vasppower/internal/workloads"
@@ -39,12 +46,20 @@ func main() {
 	cap := flag.Float64("cap", 0, "GPU power cap in watts (0 = the GPU's default TDP limit)")
 	repeats := flag.Int("repeats", 1, "repeats (min-runtime selection)")
 	seed := flag.Uint64("seed", 42, "random seed")
+	cacheDir := flag.String("cache-dir", "", "persistent measurement-cache directory (empty = in-memory only)")
+	cacheMaxBytes := flag.Int64("cache-max-bytes", 1<<30, "persistent cache size bound in bytes, LRU-evicted (0 = unbounded)")
 	version := flag.Bool("version", false, "print module version, VCS revision, and dirty flag, then exit")
 	flag.Parse()
 
 	if *version {
 		fmt.Println(obs.VersionString("minivasp"))
 		return
+	}
+
+	if *cacheDir != "" {
+		if _, err := experiments.EnableDiskCache(*cacheDir, *cacheMaxBytes); err != nil {
+			fatalf("%v", err)
+		}
 	}
 
 	if *list {
@@ -84,7 +99,7 @@ func main() {
 	}
 	fmt.Println()
 
-	jp, err := vasppower.Measure(vasppower.MeasureSpec{
+	jp, err := experiments.CachedMeasureSpec(vasppower.MeasureSpec{
 		Bench: bench, Nodes: *nodes, Repeats: *repeats, CapW: *cap, Seed: *seed,
 	})
 	if err != nil {

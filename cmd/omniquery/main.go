@@ -8,6 +8,13 @@
 // Usage:
 //
 //	omniquery [-bench PdO2] [-nodes 2] [-metric node|cpu|memory|gpu0..gpu3]
+//	          [-cache-dir DIR] [-cache-max-bytes N]
+//
+// After answering the store queries, the tool cross-checks them
+// against a reference profile of the same job produced by the
+// measurement pipeline. That reference goes through the process-wide
+// two-tier result cache, so with -cache-dir set, repeated queries of
+// the same benchmark reuse one simulation.
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"sort"
 
 	"vasppower"
+	"vasppower/internal/experiments"
 	"vasppower/internal/monitor"
 	"vasppower/internal/obs"
 	"vasppower/internal/omni"
@@ -29,12 +37,20 @@ func main() {
 	nodes := flag.Int("nodes", 2, "node count")
 	metric := flag.String("metric", "node", "metric to query (node, cpu, memory, gpu0..gpu3)")
 	seed := flag.Uint64("seed", 42, "random seed")
+	cacheDir := flag.String("cache-dir", "", "persistent measurement-cache directory (empty = in-memory only)")
+	cacheMaxBytes := flag.Int64("cache-max-bytes", 1<<30, "persistent cache size bound in bytes, LRU-evicted (0 = unbounded)")
 	version := flag.Bool("version", false, "print module version, VCS revision, and dirty flag, then exit")
 	flag.Parse()
 
 	if *version {
 		fmt.Println(obs.VersionString("omniquery"))
 		return
+	}
+	if *cacheDir != "" {
+		if _, err := experiments.EnableDiskCache(*cacheDir, *cacheMaxBytes); err != nil {
+			fmt.Fprintln(os.Stderr, "omniquery:", err)
+			os.Exit(2)
+		}
 	}
 
 	bench, ok := vasppower.BenchmarkByName(*benchName)
@@ -110,4 +126,20 @@ func main() {
 	if e, err := store.JobEnergy(job.ID); err == nil {
 		fmt.Printf("\njob node-level energy (trapezoidal from telemetry): %.2f MJ\n", e/1e6)
 	}
+
+	// 5. Cross-check against the measurement pipeline's profile of the
+	// same (benchmark, nodes, seed) — served from the two-tier result
+	// cache, so repeated queries skip the second simulation.
+	jp, err := experiments.CachedMeasureSpec(vasppower.MeasureSpec{
+		Bench: bench, Nodes: *nodes, Repeats: 1, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "omniquery:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nreference profile (measurement pipeline, cached): ")
+	if jp.NodeTotal.HasMode {
+		fmt.Printf("node high power mode %.0f W (FWHM %.0f), ", jp.NodeTotal.HighMode.X, jp.NodeTotal.HighMode.FWHM)
+	}
+	fmt.Printf("runtime %.0f s, energy %.2f MJ\n", jp.Runtime, jp.EnergyJ/1e6)
 }

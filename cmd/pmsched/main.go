@@ -6,6 +6,12 @@
 // Usage:
 //
 //	pmsched [-nodes 8] [-budget-kw 8.8] [-jobs 24] [-arrival 90] [-seed 2024]
+//	        [-cache-dir DIR] [-cache-max-bytes N]
+//
+// The profile catalog's measurements run through the process-wide
+// two-tier result cache; with -cache-dir set, repeated scheduler
+// studies (budget sweeps, policy comparisons) reuse each other's
+// measured profiles instead of re-simulating them.
 package main
 
 import (
@@ -14,6 +20,7 @@ import (
 	"os"
 
 	"vasppower"
+	"vasppower/internal/experiments"
 	"vasppower/internal/obs"
 	"vasppower/internal/report"
 )
@@ -24,12 +31,20 @@ func main() {
 	jobsN := flag.Int("jobs", 24, "number of jobs in the mix")
 	arrival := flag.Float64("arrival", 90, "mean inter-arrival time, seconds")
 	seed := flag.Uint64("seed", 2024, "random seed")
+	cacheDir := flag.String("cache-dir", "", "persistent measurement-cache directory (empty = in-memory only)")
+	cacheMaxBytes := flag.Int64("cache-max-bytes", 1<<30, "persistent cache size bound in bytes, LRU-evicted (0 = unbounded)")
 	version := flag.Bool("version", false, "print module version, VCS revision, and dirty flag, then exit")
 	flag.Parse()
 
 	if *version {
 		fmt.Println(obs.VersionString("pmsched"))
 		return
+	}
+	if *cacheDir != "" {
+		if _, err := experiments.EnableDiskCache(*cacheDir, *cacheMaxBytes); err != nil {
+			fmt.Fprintln(os.Stderr, "pmsched:", err)
+			os.Exit(2)
+		}
 	}
 
 	jobs := vasppower.SyntheticJobMix(*jobsN, *arrival, *seed)
@@ -44,12 +59,17 @@ func main() {
 	t := report.NewTable("policy", "makespan", "mean wait", "max wait",
 		"peak power", "energy", "mean perf loss", "throughput")
 	for _, p := range policies {
+		// Catalog measurements go through the shared two-tier cache, so
+		// the three policies (and later invocations, with -cache-dir)
+		// reuse one set of profile measurements.
+		cat := vasppower.NewSchedulerCatalog(*seed)
+		cat.SetMeasure(experiments.CachedMeasureSpec)
 		res, err := vasppower.SimulateScheduler(vasppower.SchedulerConfig{
 			ClusterNodes: *nodes,
 			BudgetW:      *budgetKW * 1000,
 			IdleNodeW:    460,
 			Policy:       p,
-			Catalog:      vasppower.NewSchedulerCatalog(*seed),
+			Catalog:      cat,
 		}, jobs)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pmsched:", err)

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	powerstudy [-quick] [-platform NAME] [-seed N] [-repeats N] [-parallel N] [-only table1,fig3,...] [-artifact DIR]
+//	           [-cache-dir DIR] [-cache-max-bytes N]
 //	           [-trace FILE] [-manifest FILE] [-debug-addr ADDR] [-version]
 //
 // Experiment names: table1, fig1..fig13, exta (scheduler ablation),
@@ -21,6 +22,15 @@
 // 1 = serial). Results are identical for every value: all randomness
 // is seed-derived, never order-derived, and output stays in experiment
 // order.
+//
+// -cache-dir DIR enables the persistent measurement cache: every
+// MeasureSpec result is stored content-addressed, checksummed, and
+// atomically written under DIR, so a second run of the same sweep
+// serves its measurements from disk instead of re-simulating — a warm
+// -quick run skips essentially all simulation and its stdout stays
+// byte-identical to the cold run that populated the cache.
+// -cache-max-bytes bounds the directory (LRU eviction; 0 = unbounded).
+// The cache never touches stdout either.
 //
 // The observability flags never touch stdout, so the byte-identical
 // golden output holds with or without them: -trace FILE appends one
@@ -76,6 +86,8 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker pool size for experiments and their sweeps (0 = one per CPU, 1 = serial)")
 	only := flag.String("only", "", "comma-separated experiment list (default: all)")
 	artifactDir := flag.String("artifact", "", "directory for CSV data exports (empty = no export)")
+	cacheDir := flag.String("cache-dir", "", "persistent measurement-cache directory (empty = in-memory only)")
+	cacheMaxBytes := flag.Int64("cache-max-bytes", 1<<30, "persistent cache size bound in bytes, LRU-evicted (0 = unbounded)")
 	tracePath := flag.String("trace", "", "append spans as JSON lines to this file (empty = no tracing)")
 	manifestPath := flag.String("manifest", "", "write a self-describing run manifest (JSON) to this file at exit")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address (e.g. localhost:6060)")
@@ -120,6 +132,16 @@ func main() {
 			defer ds.Close()
 			fmt.Fprintf(os.Stderr, "powerstudy: debug endpoint on http://%s (pprof, /debug/vars)\n", ds.Addr)
 		}
+	}
+
+	if *cacheDir != "" {
+		st, err := experiments.EnableDiskCache(*cacheDir, *cacheMaxBytes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "powerstudy:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "powerstudy: persistent measurement cache at %s (%d entries)\n",
+			st.Dir(), st.Len())
 	}
 
 	started := time.Now()

@@ -6,13 +6,17 @@
 package experiments
 
 import (
+	"bytes"
 	"context"
+	"encoding/gob"
 	"strconv"
 	"strings"
+	"sync"
 
 	"vasppower/internal/core"
 	"vasppower/internal/hw/platform"
 	"vasppower/internal/memo"
+	"vasppower/internal/memo/diskcache"
 	"vasppower/internal/obs"
 	"vasppower/internal/omni"
 	"vasppower/internal/par"
@@ -87,8 +91,80 @@ func (c Config) platform() platform.Platform {
 // many runs; each (benchmark, nodes, cap, repeats, seed) is measured
 // once per process. The sharded singleflight cache deduplicates
 // concurrent misses — when parallel runners race to the same key, one
-// computes and the rest wait for its result.
+// computes and the rest wait for its result. EnableDiskCache attaches
+// a persistent second tier that carries results across processes.
 var cache = memo.New[core.JobProfile]()
+
+// CacheEpoch versions the persistent tier's value schema. It is mixed
+// into every disk entry's content address and header, so entries from
+// another epoch simply never match. Bump it whenever (a) the
+// core.JobProfile shape changes, (b) the gob encoding of any nested
+// type changes, or (c) the simulation's semantics change such that an
+// old result would be wrong for the same key (anything that would
+// change the golden -quick output). The key itself already carries the
+// platform name, benchmark size parameters, nodes, repeats, cap, and
+// seed at full precision, so ordinary configuration changes need no
+// bump.
+const CacheEpoch = "jobprofile-gob-v1"
+
+// profileCodec translates JobProfiles for the byte-level disk tier.
+// gob round-trips every field exactly (float64s bit-for-bit), which is
+// what makes a warm run's rendered output byte-identical to the cold
+// run that populated the cache.
+func profileCodec() memo.Codec[core.JobProfile] {
+	return memo.Codec[core.JobProfile]{
+		Encode: func(jp core.JobProfile) ([]byte, error) {
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(jp); err != nil {
+				return nil, err
+			}
+			return buf.Bytes(), nil
+		},
+		Decode: func(data []byte) (core.JobProfile, error) {
+			var jp core.JobProfile
+			err := gob.NewDecoder(bytes.NewReader(data)).Decode(&jp)
+			return jp, err
+		},
+	}
+}
+
+// diskMu guards the EnableDiskCache/Instrument handshake: whichever
+// runs second must still connect the store to the registry.
+var (
+	diskMu    sync.Mutex
+	diskStore *diskcache.Store
+	diskReg   *obs.Registry
+)
+
+// EnableDiskCache attaches a persistent content-addressed result cache
+// under dir as the measurement cache's second tier (memory → disk →
+// compute), bounded to maxBytes by LRU eviction (0 = unbounded). It
+// returns the opened store so callers can inspect it. If Instrument
+// has installed (or later installs) a registry, the store's counters
+// register under "diskcache." and land in the run manifest.
+func EnableDiskCache(dir string, maxBytes int64) (*diskcache.Store, error) {
+	st, err := diskcache.Open(diskcache.Options{Dir: dir, MaxBytes: maxBytes, Epoch: CacheEpoch})
+	if err != nil {
+		return nil, err
+	}
+	diskMu.Lock()
+	diskStore = st
+	if diskReg != nil {
+		st.Instrument(diskcache.NewMetrics(diskReg, "diskcache"))
+	}
+	diskMu.Unlock()
+	cache.SetStore(st, profileCodec())
+	return st, nil
+}
+
+// DisableDiskCache detaches the persistent tier (entries on disk are
+// kept). Tests use it to restore the memory-only configuration.
+func DisableDiskCache() {
+	diskMu.Lock()
+	diskStore = nil
+	diskMu.Unlock()
+	cache.SetStore(nil, memo.Codec[core.JobProfile]{})
+}
 
 // measureKey builds the cache key for one measurement. It includes
 // the size parameters so same-named variants (e.g. a synthetic
@@ -113,8 +189,15 @@ func measureKey(p platform.Platform, b workloads.Benchmark, nodes, repeats int, 
 // (a nil reg detaches everything); telemetry is process-wide from then
 // on.
 func Instrument(reg *obs.Registry) {
+	diskMu.Lock()
+	diskReg = reg
+	st := diskStore
+	diskMu.Unlock()
 	if reg == nil {
 		cache.Instrument(nil)
+		if st != nil {
+			st.Instrument(nil)
+		}
 		par.SetMetrics(nil)
 		sim.SetMetrics(nil)
 		omni.SetMetrics(nil)
@@ -122,27 +205,57 @@ func Instrument(reg *obs.Registry) {
 		return
 	}
 	cache.Instrument(memo.NewMetrics(reg, "memo"))
+	if st != nil {
+		st.Instrument(diskcache.NewMetrics(reg, "diskcache"))
+	}
 	par.SetMetrics(par.NewMetrics(reg))
 	sim.SetMetrics(sim.NewMetrics(reg))
 	omni.SetMetrics(omni.NewMetrics(reg))
 	timeseries.SetMetrics(timeseries.NewMetrics(reg))
 }
 
+// CachedMeasureSpec runs spec through the process-wide two-tier
+// measurement cache: memory, then the disk tier when EnableDiskCache
+// has attached one, then core.Measure. It is the entry point the CLIs
+// outside powerstudy share, so a profile measured by any tool warms
+// every other tool's sweep. Zero spec fields take core.Measure's
+// protocol defaults before keying, so equivalent specs hit the same
+// entry.
+func CachedMeasureSpec(spec core.MeasureSpec) (core.JobProfile, error) {
+	spec.Platform = platform.OrDefault(spec.Platform)
+	if spec.Nodes <= 0 {
+		spec.Nodes = 1
+	}
+	if spec.Repeats <= 0 {
+		spec.Repeats = 1
+	}
+	key := measureKey(spec.Platform, spec.Bench, spec.Nodes, spec.Repeats, spec.CapW, spec.Seed)
+	jp, _, err := cachedDo(key, spec)
+	return jp, err
+}
+
+// cachedDo is the shared lookup: memory → disk → compute, reporting
+// whether this caller's flight ran the computation.
+func cachedDo(key string, spec core.MeasureSpec) (core.JobProfile, bool, error) {
+	computed := false
+	jp, err := cache.Do(context.Background(), key, func() (core.JobProfile, error) {
+		computed = true
+		return core.Measure(spec)
+	})
+	return jp, computed, err
+}
+
 // measure runs (or recalls) one benchmark measurement on cfg's
 // platform at cfg's seed. Every evaluation opens a "measure" span
 // (when cfg.Obs carries a tracer) recording the spec, the wall time,
-// and whether the cache served it without computing.
+// and whether the cache — either tier — served it without computing.
 func measure(cfg Config, b workloads.Benchmark, nodes, repeats int, capW float64) (core.JobProfile, error) {
 	p := cfg.platform()
 	key := measureKey(p, b, nodes, repeats, capW, cfg.seed())
 	sp := cfg.Obs.Span("measure")
-	computed := false
-	jp, err := cache.Do(context.Background(), key, func() (core.JobProfile, error) {
-		computed = true
-		return core.Measure(core.MeasureSpec{
-			Bench: b, Platform: p, Nodes: nodes, Repeats: repeats,
-			CapW: capW, Seed: cfg.seed(),
-		})
+	jp, computed, err := cachedDo(key, core.MeasureSpec{
+		Bench: b, Platform: p, Nodes: nodes, Repeats: repeats,
+		CapW: capW, Seed: cfg.seed(),
 	})
 	sp.Set("bench", b.Name).Set("platform", p.Name).Set("nodes", nodes).
 		Set("repeats", repeats).Set("cap_w", capW).
@@ -151,9 +264,15 @@ func measure(cfg Config, b workloads.Benchmark, nodes, repeats int, capW float64
 	return jp, err
 }
 
-// ResetCache clears the measurement cache (tests use it to force
-// fresh runs).
+// ResetCache clears the measurement cache's memory tier (tests use it
+// to force fresh in-process runs). With a disk tier attached the next
+// lookup hits disk, not a recomputation; ResetCacheAll clears both
+// tiers for a truly cold start.
 func ResetCache() { cache.Reset() }
+
+// ResetCacheAll clears both the memory tier and, when attached, every
+// entry in the disk tier.
+func ResetCacheAll() error { return cache.ResetAll() }
 
 // highMode extracts the node-level high power mode (0 when absent).
 func highMode(jp core.JobProfile) float64 {

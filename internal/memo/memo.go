@@ -56,11 +56,14 @@ func NewMetrics(reg *obs.Registry, prefix string) *Metrics {
 	}
 }
 
-// Cache is a sharded singleflight memoization cache. The zero value is
+// Cache is a sharded singleflight memoization cache, optionally backed
+// by a persistent second tier (SetStore): lookups go memory → store →
+// compute, with computed values written back down. The zero value is
 // not usable; call New.
 type Cache[V any] struct {
 	shards  [shardCount]shard[V]
 	metrics atomic.Pointer[Metrics]
+	backing atomic.Pointer[backing[V]]
 }
 
 type shard[V any] struct {
@@ -103,6 +106,13 @@ func (c *Cache[V]) shard(key string) *shard[V] {
 // result. Failed computations are not cached — the error is delivered
 // to every caller of that flight, and the next call retries — matching
 // the retry semantics of the serial cache this replaces.
+//
+// With a backing store attached (SetStore), a memory miss first
+// consults the store; a store hit skips compute entirely and is
+// promoted into the memory tier, and a computed value is written back
+// to the store. Singleflight covers both tiers: the per-key flight is
+// claimed before the store is consulted, so concurrent misses share
+// one store read or one computation, never both.
 func (c *Cache[V]) Do(ctx context.Context, key string, compute func() (V, error)) (V, error) {
 	m := c.metrics.Load()
 	s := c.shard(key)
@@ -139,7 +149,14 @@ func (c *Cache[V]) Do(ctx context.Context, key string, compute func() (V, error)
 		m.Misses.Add(1)
 	}
 
-	e.val, e.err = compute()
+	if v, ok := c.storeGet(key); ok {
+		e.val = v
+	} else {
+		e.val, e.err = compute()
+		if e.err == nil {
+			c.storePut(key, e.val)
+		}
+	}
 	if e.err != nil {
 		s.mu.Lock()
 		// Only evict our own entry: a concurrent Reset may have already
@@ -174,7 +191,10 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 	}
 }
 
-// Len returns the number of cached (or in-flight) keys.
+// Len returns the number of cached (or in-flight) keys in the memory
+// tier only; a backing store's entry count is StoreLen. The two are
+// deliberately not summed — keys present in both tiers would be
+// double-counted, and the memory tier is the one that bounds live heap.
 func (c *Cache[V]) Len() int {
 	n := 0
 	for i := range c.shards {
@@ -186,8 +206,12 @@ func (c *Cache[V]) Len() int {
 	return n
 }
 
-// Reset drops every cached entry. In-flight computations complete and
-// deliver their result to waiters but are not re-cached.
+// Reset drops every cached entry in the memory tier only — a backing
+// store keeps its entries, so the next Do on a previously computed key
+// is a store hit, not a recomputation. Use ResetAll to clear both
+// tiers. In-flight computations complete and deliver their result to
+// waiters but are not re-cached in memory (their store write-back
+// still lands).
 func (c *Cache[V]) Reset() {
 	for i := range c.shards {
 		s := &c.shards[i]

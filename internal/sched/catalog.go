@@ -36,6 +36,7 @@ type Catalog struct {
 	platform platform.Platform
 	seed     uint64
 	entries  map[string]Profile
+	measure  func(core.MeasureSpec) (core.JobProfile, error)
 }
 
 // NewCatalog creates an empty catalog on the default platform; seed
@@ -47,7 +48,22 @@ func NewCatalog(seed uint64) *Catalog {
 // NewCatalogOn creates an empty catalog whose measurements run on the
 // given platform (zero = default).
 func NewCatalogOn(p platform.Platform, seed uint64) *Catalog {
-	return &Catalog{platform: platform.OrDefault(p), seed: seed, entries: make(map[string]Profile)}
+	return &Catalog{
+		platform: platform.OrDefault(p), seed: seed,
+		entries: make(map[string]Profile), measure: core.Measure,
+	}
+}
+
+// SetMeasure replaces the measurement function profiles are gathered
+// with — the hook pmsched uses to route catalog measurements through
+// the process-wide two-tier result cache so repeated scheduler studies
+// reuse prior simulations. Call before the first Get.
+func (c *Catalog) SetMeasure(fn func(core.MeasureSpec) (core.JobProfile, error)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if fn != nil {
+		c.measure = fn
+	}
 }
 
 func key(bench string, nodes int, cap float64) string {
@@ -86,7 +102,7 @@ func (c *Catalog) measureLocked(b workloads.Benchmark, nodes int, cap float64) (
 	if p, ok := c.entries[k]; ok {
 		return p, nil
 	}
-	jp, err := core.Measure(core.MeasureSpec{
+	jp, err := c.measure(core.MeasureSpec{
 		Bench: b, Platform: c.platform, Nodes: nodes, CapW: cap, Seed: c.seed,
 	})
 	if err != nil {

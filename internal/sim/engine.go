@@ -40,6 +40,14 @@ func SetMetrics(m *Metrics) { metrics.Store(m) }
 
 // Event is a scheduled callback. Cancel prevents a pending event from
 // firing; cancelling an already-fired event is a no-op.
+//
+// Handle lifetime: once an event has fired, or has been cancelled and
+// subsequently collected from the queue, the engine recycles the Event
+// for a later At/After call (sweeps schedule millions of events, and
+// pooling keeps them out of the allocator). A handle is therefore only
+// good until its event fires or is cancelled — drop it after either,
+// and never call Cancel on a handle whose event may already have
+// fired.
 type Event struct {
 	at        float64
 	seq       uint64
@@ -58,9 +66,10 @@ func (ev *Event) Cancel() { ev.cancelled = true }
 // Engine is the simulation core. The zero value is ready to use and
 // starts at time 0.
 type Engine struct {
-	now float64
-	pq  eventHeap
-	seq uint64
+	now  float64
+	pq   eventHeap
+	seq  uint64
+	free []*Event // recycled Events; see Event's handle-lifetime note
 }
 
 // New returns a fresh engine at virtual time 0.
@@ -83,10 +92,32 @@ func (e *Engine) At(t float64, fn func()) *Event {
 	if math.IsNaN(t) || math.IsInf(t, 0) {
 		panic(fmt.Sprintf("sim: scheduling at non-finite time %v", t))
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
+	ev := e.alloc(t, fn)
 	e.seq++
 	heap.Push(&e.pq, ev)
 	return ev
+}
+
+// alloc takes an Event from the free list (resetting every field) or
+// allocates a fresh one. The free list is bounded by the peak number
+// of pending events, so it needs no cap of its own.
+func (e *Engine) alloc(t float64, fn func()) *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		*ev = Event{at: t, seq: e.seq, fn: fn}
+		return ev
+	}
+	return &Event{at: t, seq: e.seq, fn: fn}
+}
+
+// recycle returns a popped event to the free list. The callback is
+// released immediately so pooled events never pin closures (and the
+// node sensors they capture) across simulations.
+func (e *Engine) recycle(ev *Event) {
+	ev.fn = nil
+	e.free = append(e.free, ev)
 }
 
 // After schedules fn delay seconds from now. Negative delays panic.
@@ -100,6 +131,7 @@ func (e *Engine) Step() bool {
 	for len(e.pq) > 0 {
 		ev := heap.Pop(&e.pq).(*Event)
 		if ev.cancelled {
+			e.recycle(ev)
 			continue
 		}
 		e.now = ev.at
@@ -108,6 +140,10 @@ func (e *Engine) Step() bool {
 			m.Steps.Add(1)
 		}
 		ev.fn()
+		// Recycle only after fn returns: fn may consult the handle (a
+		// Ticker's arm wrapper does) and may itself schedule new events
+		// from the free list.
+		e.recycle(ev)
 		return true
 	}
 	return false
@@ -129,7 +165,7 @@ func (e *Engine) RunUntil(t float64) {
 		// Peek.
 		next := e.pq[0]
 		if next.cancelled {
-			heap.Pop(&e.pq)
+			e.recycle(heap.Pop(&e.pq).(*Event))
 			continue
 		}
 		if next.at > t {
@@ -148,6 +184,7 @@ type Ticker struct {
 	period  float64
 	fn      func(now float64)
 	ev      *Event
+	tick    func() // the arm callback, allocated once per Ticker
 	stopped bool
 }
 
@@ -158,12 +195,11 @@ func (e *Engine) Every(period float64, fn func(now float64)) *Ticker {
 		panic("sim: non-positive ticker period")
 	}
 	t := &Ticker{engine: e, period: period, fn: fn}
-	t.arm()
-	return t
-}
-
-func (t *Ticker) arm() {
-	t.ev = t.engine.After(t.period, func() {
+	t.tick = func() {
+		// This event is firing, so its handle is about to go stale
+		// (the engine recycles fired events): drop it before running
+		// the callback so a Stop never cancels a recycled event.
+		t.ev = nil
 		if t.stopped {
 			return
 		}
@@ -171,14 +207,22 @@ func (t *Ticker) arm() {
 		if !t.stopped {
 			t.arm()
 		}
-	})
+	}
+	t.arm()
+	return t
 }
 
-// Stop halts the ticker. Safe to call from within the tick callback.
+func (t *Ticker) arm() {
+	t.ev = t.engine.After(t.period, t.tick)
+}
+
+// Stop halts the ticker. Safe to call from within the tick callback,
+// and safe to call multiple times.
 func (t *Ticker) Stop() {
 	t.stopped = true
 	if t.ev != nil {
 		t.ev.Cancel()
+		t.ev = nil
 	}
 }
 

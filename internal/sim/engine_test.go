@@ -192,6 +192,89 @@ func TestRandomScheduleOrderProperty(t *testing.T) {
 	}
 }
 
+// TestEventRecycling pins the free-list pool: a fired (or cancelled
+// and collected) event's storage is reused by a later schedule, reset
+// fields and all, and the simulation stays correct through reuse.
+func TestEventRecycling(t *testing.T) {
+	e := New()
+	first := e.At(1, func() {})
+	e.Run()
+	second := e.After(1, func() {})
+	if first != second {
+		t.Fatal("fired event was not recycled for the next schedule")
+	}
+	if second.cancelled || second.fired || second.fn == nil {
+		t.Fatal("recycled event not fully reset")
+	}
+	fired := false
+	second.fn = func() { fired = true }
+	e.Run()
+	if !fired {
+		t.Fatal("recycled event did not fire")
+	}
+
+	// Cancelled events are collected and recycled too.
+	ev := e.After(1, func() { t.Error("cancelled event fired") })
+	ev.Cancel()
+	e.Run()
+	if got := e.After(1, func() {}); got != ev {
+		t.Fatal("cancelled event was not recycled after collection")
+	}
+	e.Run()
+}
+
+// TestRecycledEventsDropClosures: pooled events must not pin their
+// callbacks (which capture node sensors) while idle on the free list.
+func TestRecycledEventsDropClosures(t *testing.T) {
+	e := New()
+	e.At(1, func() {})
+	e.Run()
+	if len(e.free) != 1 || e.free[0].fn != nil {
+		t.Fatalf("free list holds a closure (len %d)", len(e.free))
+	}
+}
+
+// TestTickerStopAfterRecycle: stopping a ticker twice, or after its
+// pending event has fired and been recycled into an unrelated
+// schedule, must not cancel the unrelated event.
+func TestTickerStopAfterRecycle(t *testing.T) {
+	e := New()
+	tk := e.Every(1, func(float64) {})
+	e.RunUntil(1.5) // one tick fired; tk re-armed for t=2
+	tk.Stop()
+	tk.Stop() // second Stop must be a no-op, not a stale Cancel
+	fired := false
+	e.At(2, func() { fired = true }) // may reuse the cancelled event's slot
+	e.Run()
+	if !fired {
+		t.Fatal("event scheduled after ticker Stop was cancelled by a stale handle")
+	}
+}
+
+// BenchmarkScheduleFire measures the steady-state schedule→fire cycle;
+// with the free-list pool this allocates nothing per event.
+func BenchmarkScheduleFire(b *testing.B) {
+	e := New()
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(1, fn)
+		e.Step()
+	}
+}
+
+// BenchmarkTickerTicks measures a long-running sampler: one ticker,
+// many ticks (the LDMS pipeline's shape).
+func BenchmarkTickerTicks(b *testing.B) {
+	e := New()
+	tk := e.Every(1, func(float64) {})
+	defer tk.Stop()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
 func TestPending(t *testing.T) {
 	e := New()
 	e.At(1, func() {})
