@@ -6,21 +6,41 @@
 // Usage:
 //
 //	pmsched [-nodes 8] [-budget-kw 8.8] [-jobs 24] [-arrival 90] [-seed 2024]
+//	        [-preset facility] [-envelope T:KW,T:KW,...] [-manifest PATH]
 //	        [-cache-dir DIR] [-cache-max-bytes N]
+//
+// -preset facility selects the Perlmutter-like GPU partition scale —
+// 1,800 nodes, 100k jobs, 5 s mean inter-arrival, 2 MW budget — for
+// any of -nodes/-jobs/-arrival/-budget-kw not given explicitly. Jobs
+// stream through the simulator in arrival order, so facility-scale
+// mixes never materialize in memory.
+//
+// -envelope imposes a time-varying facility power envelope on top of
+// the base budget: a comma-separated list of start:budget-kW phases
+// (e.g. "3600:1500,7200:2000" drops the budget to 1.5 MW after one
+// hour and restores 2 MW after two). Budget 0 means unconstrained
+// from that point on.
 //
 // The profile catalog's measurements run through the process-wide
 // two-tier result cache; with -cache-dir set, repeated scheduler
 // studies (budget sweeps, policy comparisons) reuse each other's
-// measured profiles instead of re-simulating them.
+// measured profiles instead of re-simulating them. With -manifest set,
+// the run writes a provenance manifest including the sched.* metrics
+// (packing passes, starts, drops, head-of-line stalls, peak reserved
+// power).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
+	"time"
 
 	"vasppower"
 	"vasppower/internal/experiments"
+	"vasppower/internal/hw/platform"
 	"vasppower/internal/obs"
 	"vasppower/internal/report"
 )
@@ -31,6 +51,9 @@ func main() {
 	jobsN := flag.Int("jobs", 24, "number of jobs in the mix")
 	arrival := flag.Float64("arrival", 90, "mean inter-arrival time, seconds")
 	seed := flag.Uint64("seed", 2024, "random seed")
+	preset := flag.String("preset", "", "scale preset: 'facility' = 1800 nodes, 100k jobs, 5 s arrivals, 2 MW budget (explicit flags win)")
+	envelope := flag.String("envelope", "", "time-varying budget phases as start-seconds:budget-kW, comma-separated")
+	manifestPath := flag.String("manifest", "", "write a run manifest (provenance + sched.* metrics) to this path")
 	cacheDir := flag.String("cache-dir", "", "persistent measurement-cache directory (empty = in-memory only)")
 	cacheMaxBytes := flag.Int64("cache-max-bytes", 1<<30, "persistent cache size bound in bytes, LRU-evicted (0 = unbounded)")
 	version := flag.Bool("version", false, "print module version, VCS revision, and dirty flag, then exit")
@@ -40,16 +63,34 @@ func main() {
 		fmt.Println(obs.VersionString("pmsched"))
 		return
 	}
+	if err := applyPreset(*preset, nodes, budgetKW, jobsN, arrival); err != nil {
+		fmt.Fprintln(os.Stderr, "pmsched:", err)
+		os.Exit(2)
+	}
+	schedule, err := parseEnvelope(*envelope)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmsched:", err)
+		os.Exit(2)
+	}
 	if *cacheDir != "" {
 		if _, err := experiments.EnableDiskCache(*cacheDir, *cacheMaxBytes); err != nil {
 			fmt.Fprintln(os.Stderr, "pmsched:", err)
 			os.Exit(2)
 		}
 	}
+	var reg *obs.Registry
+	if *manifestPath != "" {
+		reg = obs.NewRegistry()
+		experiments.Instrument(reg)
+	}
+	started := time.Now()
 
-	jobs := vasppower.SyntheticJobMix(*jobsN, *arrival, *seed)
-	fmt.Printf("job mix: %d VASP jobs over ~%.0f s of arrivals on %d nodes, budget %.1f kW\n\n",
-		len(jobs), jobs[len(jobs)-1].Arrival, *nodes, *budgetKW)
+	fmt.Printf("job mix: %d VASP jobs over ~%.0f s of arrivals on %d nodes, budget %.1f kW\n",
+		*jobsN, float64(*jobsN)*(*arrival), *nodes, *budgetKW)
+	if len(schedule) > 0 {
+		fmt.Printf("envelope: %d budget phases (first at t=%.0f s)\n", len(schedule), schedule[0].Start)
+	}
+	fmt.Println()
 
 	policies := []vasppower.SchedulerPolicy{
 		vasppower.PolicyNoCap,
@@ -57,20 +98,23 @@ func main() {
 		vasppower.PolicyProfileAware,
 	}
 	t := report.NewTable("policy", "makespan", "mean wait", "max wait",
-		"peak power", "energy", "mean perf loss", "throughput")
+		"peak power", "energy", "mean perf loss", "throughput", "dropped")
+	var droppedIDs []string
 	for _, p := range policies {
 		// Catalog measurements go through the shared two-tier cache, so
 		// the three policies (and later invocations, with -cache-dir)
-		// reuse one set of profile measurements.
+		// reuse one set of profile measurements. Jobs stream through the
+		// simulator; the mix is never materialized.
 		cat := vasppower.NewSchedulerCatalog(*seed)
 		cat.SetMeasure(experiments.CachedMeasureSpec)
-		res, err := vasppower.SimulateScheduler(vasppower.SchedulerConfig{
-			ClusterNodes: *nodes,
-			BudgetW:      *budgetKW * 1000,
-			IdleNodeW:    460,
-			Policy:       p,
-			Catalog:      cat,
-		}, jobs)
+		res, err := vasppower.SimulateSchedulerStream(vasppower.SchedulerConfig{
+			ClusterNodes:   *nodes,
+			BudgetW:        *budgetKW * 1000,
+			BudgetSchedule: schedule,
+			IdleNodeW:      460,
+			Policy:         p,
+			Catalog:        cat,
+		}, vasppower.SyntheticJobStream(*jobsN, *arrival, *seed))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pmsched:", err)
 			os.Exit(1)
@@ -84,9 +128,96 @@ func main() {
 			fmt.Sprintf("%.1f MJ", res.TotalEnergyJ/1e6),
 			report.Percent(res.MeanPerfLoss),
 			fmt.Sprintf("%.1f jobs/h", res.Throughput),
+			fmt.Sprintf("%d", res.Dropped),
 		)
+		if res.Dropped > 0 && droppedIDs == nil {
+			droppedIDs = res.DroppedIDs
+		}
 	}
 	fmt.Println(t.String())
+	if droppedIDs != nil {
+		const show = 8
+		ids := droppedIDs
+		if len(ids) > show {
+			ids = ids[:show]
+		}
+		fmt.Printf("warning: jobs dropped (unprofilable configuration): %s", strings.Join(ids, ", "))
+		if len(droppedIDs) > show {
+			fmt.Printf(", … (%d total)", len(droppedIDs))
+		}
+		fmt.Println()
+	}
 	fmt.Println("profile-aware capping reserves measured power instead of TDP, so more jobs")
 	fmt.Println("fit under the budget at a per-job cost the study bounds below 10% (§V-C).")
+
+	if *manifestPath != "" {
+		snap := reg.Snapshot()
+		err := obs.Manifest{
+			Tool:        "pmsched",
+			Build:       obs.GetBuildInfo(),
+			Platform:    platform.DefaultName,
+			Seed:        *seed,
+			Workers:     1,
+			Started:     started.UTC(),
+			WallSeconds: time.Since(started).Seconds(),
+			Metrics:     &snap,
+		}.Write(*manifestPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmsched:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pmsched: run manifest written to %s\n", *manifestPath)
+	}
+}
+
+// applyPreset overwrites scale parameters the user did not set
+// explicitly with the preset's values (explicit flags always win).
+func applyPreset(name string, nodes *int, budgetKW *float64, jobsN *int, arrival *float64) error {
+	switch name {
+	case "":
+		return nil
+	case "facility":
+	default:
+		return fmt.Errorf("unknown preset %q (have: facility)", name)
+	}
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if !set["nodes"] {
+		*nodes = 1800
+	}
+	if !set["budget-kw"] {
+		*budgetKW = 2000
+	}
+	if !set["jobs"] {
+		*jobsN = 100000
+	}
+	if !set["arrival"] {
+		*arrival = 5
+	}
+	return nil
+}
+
+// parseEnvelope parses "start:budget-kW,start:budget-kW,..." into a
+// budget schedule (watts), e.g. "3600:1500,7200:0".
+func parseEnvelope(s string) ([]vasppower.SchedulerBudgetPhase, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var phases []vasppower.SchedulerBudgetPhase
+	for _, part := range strings.Split(s, ",") {
+		at, kw, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("envelope phase %q: want start-seconds:budget-kW", part)
+		}
+		start, err := strconv.ParseFloat(at, 64)
+		if err != nil {
+			return nil, fmt.Errorf("envelope phase %q: %v", part, err)
+		}
+		budget, err := strconv.ParseFloat(kw, 64)
+		if err != nil {
+			return nil, fmt.Errorf("envelope phase %q: %v", part, err)
+		}
+		phases = append(phases, vasppower.SchedulerBudgetPhase{Start: start, BudgetW: budget * 1000})
+	}
+	return phases, nil
 }

@@ -20,6 +20,7 @@ import (
 	"vasppower/internal/obs"
 	"vasppower/internal/omni"
 	"vasppower/internal/par"
+	"vasppower/internal/sched"
 	"vasppower/internal/sim"
 	"vasppower/internal/timeseries"
 	"vasppower/internal/workloads"
@@ -199,6 +200,7 @@ func Instrument(reg *obs.Registry) {
 			st.Instrument(nil)
 		}
 		par.SetMetrics(nil)
+		sched.SetMetrics(nil)
 		sim.SetMetrics(nil)
 		omni.SetMetrics(nil)
 		timeseries.SetMetrics(nil)
@@ -209,6 +211,7 @@ func Instrument(reg *obs.Registry) {
 		st.Instrument(diskcache.NewMetrics(reg, "diskcache"))
 	}
 	par.SetMetrics(par.NewMetrics(reg))
+	sched.SetMetrics(sched.NewMetrics(reg))
 	sim.SetMetrics(sim.NewMetrics(reg))
 	omni.SetMetrics(omni.NewMetrics(reg))
 	timeseries.SetMetrics(timeseries.NewMetrics(reg))

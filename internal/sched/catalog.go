@@ -1,7 +1,6 @@
 package sched
 
 import (
-	"fmt"
 	"sync"
 
 	"vasppower/internal/core"
@@ -29,13 +28,24 @@ func (p Profile) PerfLoss() float64 {
 	return p.Runtime/p.BaselineRT - 1
 }
 
+// profileKey identifies one cached profile. A comparable struct key
+// (rather than a formatted string) keeps the hot Get path free of
+// per-call allocations — the facility-scale simulate loop consults
+// the catalog once per job start — and preserves the cap at full
+// float precision, so nearby caps (149.6 vs 150) never alias.
+type profileKey struct {
+	bench string
+	nodes int
+	capW  float64
+}
+
 // Catalog measures and caches profiles keyed by (benchmark, nodes,
 // cap) for one platform. Safe for concurrent use.
 type Catalog struct {
 	mu       sync.Mutex
 	platform platform.Platform
 	seed     uint64
-	entries  map[string]Profile
+	entries  map[profileKey]Profile
 	measure  func(core.MeasureSpec) (core.JobProfile, error)
 }
 
@@ -50,7 +60,7 @@ func NewCatalog(seed uint64) *Catalog {
 func NewCatalogOn(p platform.Platform, seed uint64) *Catalog {
 	return &Catalog{
 		platform: platform.OrDefault(p), seed: seed,
-		entries: make(map[string]Profile), measure: core.Measure,
+		entries: make(map[profileKey]Profile), measure: core.Measure,
 	}
 }
 
@@ -66,16 +76,12 @@ func (c *Catalog) SetMeasure(fn func(core.MeasureSpec) (core.JobProfile, error))
 	}
 }
 
-func key(bench string, nodes int, cap float64) string {
-	return fmt.Sprintf("%s/%d/%.0f", bench, nodes, cap)
-}
-
 // Get returns the profile for (bench, nodes, cap), measuring it on
 // first use. cap = 0 means default limits.
 func (c *Catalog) Get(b workloads.Benchmark, nodes int, cap float64) (Profile, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	k := key(b.Name, nodes, cap)
+	k := profileKey{b.Name, nodes, cap}
 	if p, ok := c.entries[k]; ok {
 		return p, nil
 	}
@@ -98,7 +104,7 @@ func (c *Catalog) Get(b workloads.Benchmark, nodes int, cap float64) (Profile, e
 // measureLocked runs the benchmark once and summarizes it; results
 // are cached under their own key so the baseline is measured once.
 func (c *Catalog) measureLocked(b workloads.Benchmark, nodes int, cap float64) (Profile, error) {
-	k := key(b.Name, nodes, cap)
+	k := profileKey{b.Name, nodes, cap}
 	if p, ok := c.entries[k]; ok {
 		return p, nil
 	}

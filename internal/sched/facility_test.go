@@ -1,0 +1,353 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"vasppower/internal/core"
+	"vasppower/internal/obs"
+)
+
+// fakeMeasure is a deterministic, solver-free measurement function for
+// facility-scale tests: profiles derive arithmetically from the spec,
+// so a 10k-job simulation costs microseconds of "measurement".
+func fakeMeasure(spec core.MeasureSpec) (core.JobProfile, error) {
+	rt := 120 + 17*float64(len(spec.Bench.Name)%7) + 300*float64(spec.Nodes)
+	if spec.CapW > 0 {
+		rt *= 1 + 50/spec.CapW
+	}
+	mean := 1000.0 + 25*float64(len(spec.Bench.Name))
+	if spec.CapW > 0 && mean > 4*spec.CapW+600 {
+		mean = 4*spec.CapW + 600
+	}
+	var p core.JobProfile
+	p.Name = spec.Bench.Name
+	p.Runtime = rt
+	p.EnergyJ = rt * mean * float64(spec.Nodes)
+	p.NodeTotal.Summary.Mean = mean
+	return p, nil
+}
+
+func fakeCatalog(seed uint64) *Catalog {
+	cat := NewCatalog(seed)
+	cat.SetMeasure(fakeMeasure)
+	return cat
+}
+
+// TestSimulateMatchesOracle is the differential gate for the
+// incremental loop: across policies, budgets, and jitter, the Result
+// must be bit-identical (reflect.DeepEqual, no tolerances) to the
+// retained pre-refactor implementation in oracle.go.
+func TestSimulateMatchesOracle(t *testing.T) {
+	policies := []Policy{
+		NoCap{NodeTDP: 2350},
+		UniformCap{Watts: 200, HostWatts: 350},
+		DefaultProfileAware(),
+	}
+	jobs := smallMix(24, 7)
+	for _, p := range policies {
+		for _, budget := range []float64{0, 8 * 1100} {
+			for _, jitterSeed := range []uint64{0, 42} {
+				name := fmt.Sprintf("%s/budget=%.0f/jitter=%d", p.Name(), budget, jitterSeed)
+				cfgA := simCfg(p, budget, NewCatalog(1))
+				cfgB := simCfg(p, budget, NewCatalog(1))
+				cfgA.JitterSeed = jitterSeed
+				cfgB.JitterSeed = jitterSeed
+				got, err := Simulate(cfgA, jobs)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				want, err := simulateOracle(cfgB, jobs)
+				if err != nil {
+					t.Fatalf("%s: oracle: %v", name, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s: incremental loop diverged from oracle:\n got %+v\nwant %+v", name, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestDroppedJobsRecorded pins the drop path: jobs whose configuration
+// cannot be profiled are counted and named in the Result (not silently
+// discarded), capacity is untouched, and the incremental loop drops
+// exactly the jobs the oracle drops.
+func TestDroppedJobsRecorded(t *testing.T) {
+	failing := func(spec core.MeasureSpec) (core.JobProfile, error) {
+		if spec.Bench.Name == "CuC_vdw" {
+			return core.JobProfile{}, fmt.Errorf("no profile for %s", spec.Bench.Name)
+		}
+		return fakeMeasure(spec)
+	}
+	jobs := smallMix(32, 5)
+	nVdw := 0
+	for _, j := range jobs {
+		if j.Bench.Name == "CuC_vdw" {
+			nVdw++
+		}
+	}
+	if nVdw == 0 {
+		t.Fatal("mix has no CuC_vdw jobs; pick another seed")
+	}
+	catA, catB := NewCatalog(1), NewCatalog(1)
+	catA.SetMeasure(failing)
+	catB.SetMeasure(failing)
+	got, err := Simulate(simCfg(DefaultProfileAware(), 8*1100, catA), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dropped != nVdw || len(got.DroppedIDs) != nVdw {
+		t.Fatalf("dropped %d (%d IDs), want %d", got.Dropped, len(got.DroppedIDs), nVdw)
+	}
+	if got.Completed+got.Dropped != len(jobs) {
+		t.Fatalf("completed %d + dropped %d != %d jobs", got.Completed, got.Dropped, len(jobs))
+	}
+	for _, id := range got.DroppedIDs {
+		for _, o := range got.Outcomes {
+			if o.ID == id {
+				t.Fatalf("job %s both dropped and completed", id)
+			}
+		}
+	}
+	want, err := simulateOracle(simCfg(DefaultProfileAware(), 8*1100, catB), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("drop handling diverged from oracle:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestSimulateStreamMatchesSlice pins that the streaming entry point
+// is the same simulation: SimulateStream over SyntheticJobStream
+// equals Simulate over the materialized SyntheticJobMix, bit for bit.
+func TestSimulateStreamMatchesSlice(t *testing.T) {
+	const n, mean, seed = 40, 45, 17
+	jobs := SyntheticJobMix(n, mean, seed)
+	a, err := Simulate(simCfg(DefaultProfileAware(), 8*1100, fakeCatalog(1)), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateStream(simCfg(DefaultProfileAware(), 8*1100, fakeCatalog(1)), SyntheticJobStream(n, mean, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("stream result diverged from slice result:\n got %+v\nwant %+v", b, a)
+	}
+}
+
+// TestSyntheticStreamMatchesMix pins that the lazy generator and the
+// materialized mix are one generator: draining the stream yields
+// exactly the slice.
+func TestSyntheticStreamMatchesMix(t *testing.T) {
+	const n, mean, seed = 100, 30, 9
+	want := SyntheticJobMix(n, mean, seed)
+	src := SyntheticJobStream(n, mean, seed)
+	if h := src.SizeHint(); h != n {
+		t.Fatalf("fresh SizeHint %d, want %d", h, n)
+	}
+	var got []Job
+	for {
+		j, ok := src.Next()
+		if !ok {
+			break
+		}
+		got = append(got, j)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("stream yielded %d jobs != mix %d jobs (or contents differ)", len(got), len(want))
+	}
+	if h := src.SizeHint(); h != 0 {
+		t.Fatalf("drained SizeHint %d, want 0", h)
+	}
+}
+
+// TestFacilityScaleDeterministic runs the facility preset scale —
+// 1,800 nodes, 10k jobs — twice and requires byte-identical Results.
+func TestFacilityScaleDeterministic(t *testing.T) {
+	const nodes, jobs = 1800, 10000
+	run := func() Result {
+		cfg := SimConfig{
+			ClusterNodes: nodes,
+			BudgetW:      nodes * 1100,
+			IdleNodeW:    460,
+			Policy:       DefaultProfileAware(),
+			Catalog:      fakeCatalog(3),
+			JitterSeed:   99,
+		}
+		res, err := SimulateStream(cfg, SyntheticJobStream(jobs, 5, 2024))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("facility-scale simulation not deterministic across runs")
+	}
+	if a.Completed+a.Dropped != jobs {
+		t.Fatalf("completed %d + dropped %d != %d", a.Completed, a.Dropped, jobs)
+	}
+	if a.Dropped != 0 {
+		t.Fatalf("unexpected drops: %d (%v...)", a.Dropped, a.DroppedIDs[:1])
+	}
+	if a.PeakPowerW > float64(nodes)*1100+1e-6 {
+		t.Fatalf("budget violated at scale: peak %v", a.PeakPowerW)
+	}
+}
+
+// TestBudgetEnvelope pins the time-varying facility envelope: under a
+// budget too tight for any start, jobs queue until the phase that
+// lifts it, and every start lands on a cycle boundary at or after the
+// lift.
+func TestBudgetEnvelope(t *testing.T) {
+	jobs := smallMix(6, 13)
+	for i := range jobs {
+		jobs[i].Arrival = float64(i) * 10 // all well before the lift
+	}
+	idleFloor := 8 * 460.0
+	cfg := simCfg(NoCap{NodeTDP: 2350}, idleFloor+100, fakeCatalog(1)) // headroom 100 W < any job's need
+	cfg.BudgetSchedule = []BudgetPhase{{Start: 600, BudgetW: 0}}       // unconstrained from t=600
+	res, err := Simulate(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != len(jobs) {
+		t.Fatalf("completed %d of %d", res.Completed, len(jobs))
+	}
+	for _, o := range res.Outcomes {
+		if o.Start < 600 {
+			t.Fatalf("job %s started at %v under the pre-lift envelope", o.ID, o.Start)
+		}
+	}
+	// A drop mid-schedule must not kill running jobs: rerun with a
+	// late drop back to the tight budget and confirm everything that
+	// started before the drop still completes.
+	cfg.BudgetSchedule = []BudgetPhase{{Start: 600, BudgetW: 0}, {Start: 660, BudgetW: idleFloor + 100}}
+	res2, err := Simulate(cfg, jobs)
+	if err == nil {
+		for _, o := range res2.Outcomes {
+			if o.Start >= 600 && o.Start < 660 && o.End <= o.Start {
+				t.Fatalf("job %s truncated by budget drop: %+v", o.ID, o)
+			}
+		}
+	} else if !strings.Contains(err.Error(), "never started") {
+		t.Fatalf("unexpected error under drop schedule: %v", err)
+	}
+}
+
+// TestStartQuantization pins the paper's 30-second scheduling cycle:
+// event-driven passes must still only start jobs at multiples of
+// CycleSeconds, exactly as the ticker did.
+func TestStartQuantization(t *testing.T) {
+	res, err := SimulateStream(
+		simCfg(DefaultProfileAware(), 8*1100, fakeCatalog(1)),
+		SyntheticJobStream(50, 45, 23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range res.Outcomes {
+		if math.Mod(o.Start, CycleSeconds) != 0 {
+			t.Fatalf("job %s started off-cycle at %v", o.ID, o.Start)
+		}
+	}
+}
+
+// TestDeadlockDetected pins the improvement over the ticker loop: a
+// mix that can never start returns an error instead of ticking
+// forever.
+func TestDeadlockDetected(t *testing.T) {
+	jobs := smallMix(4, 3)
+	cfg := simCfg(NoCap{NodeTDP: 2350}, 8*460+100, fakeCatalog(1)) // headroom forever too small
+	_, err := Simulate(cfg, jobs)
+	if err == nil || !strings.Contains(err.Error(), "never started") {
+		t.Fatalf("want deadlock error, got %v", err)
+	}
+}
+
+// TestStreamValidation pins the lazy validation path and the budget
+// schedule validation.
+func TestStreamValidation(t *testing.T) {
+	cfg := simCfg(NoCap{NodeTDP: 2350}, 0, fakeCatalog(1))
+	if _, err := SimulateStream(cfg, nil); err == nil {
+		t.Fatal("nil stream accepted")
+	}
+	jobs := smallMix(2, 1)
+	disordered := []Job{jobs[1], jobs[0]}
+	if disordered[0].Arrival <= disordered[1].Arrival {
+		t.Fatal("test setup: jobs not out of order")
+	}
+	if _, err := SimulateStream(cfg, &sliceStream{jobs: disordered}); err == nil ||
+		!strings.Contains(err.Error(), "sorted by arrival") {
+		t.Fatalf("out-of-order stream: got %v", err)
+	}
+	big := append([]Job(nil), jobs...)
+	big[0].Nodes = 99
+	if _, err := SimulateStream(cfg, &sliceStream{jobs: big}); err == nil ||
+		!strings.Contains(err.Error(), "needs 99 nodes") {
+		t.Fatalf("oversized job in stream: got %v", err)
+	}
+	bad := cfg
+	bad.BudgetSchedule = []BudgetPhase{{Start: 100, BudgetW: 1000}, {Start: 50, BudgetW: 2000}}
+	if _, err := Simulate(bad, jobs); err == nil || !strings.Contains(err.Error(), "not sorted") {
+		t.Fatalf("unsorted schedule: got %v", err)
+	}
+	bad.BudgetSchedule = []BudgetPhase{{Start: -1, BudgetW: 1000}}
+	if _, err := Simulate(bad, jobs); err == nil {
+		t.Fatal("negative phase start accepted")
+	}
+	bad.BudgetSchedule = []BudgetPhase{{Start: 0, BudgetW: math.NaN()}}
+	if _, err := Simulate(bad, jobs); err == nil {
+		t.Fatal("NaN phase budget accepted")
+	}
+}
+
+// TestSchedMetrics pins the obs wiring: a simulation under installed
+// metrics accounts for every job as started, dropped, or completed,
+// counts its packing passes, and records head-of-line stalls and the
+// peak reservation.
+func TestSchedMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	SetMetrics(m)
+	defer SetMetrics(nil)
+
+	failing := func(spec core.MeasureSpec) (core.JobProfile, error) {
+		if spec.Bench.Name == "CuC_vdw" {
+			return core.JobProfile{}, fmt.Errorf("no profile")
+		}
+		return fakeMeasure(spec)
+	}
+	cat := NewCatalog(1)
+	cat.SetMeasure(failing)
+	jobs := smallMix(32, 5)
+	cfg := simCfg(DefaultProfileAware(), 8*1100, cat)
+	cfg.ClusterNodes = 2 // force queueing → head-of-line stalls
+	res, err := Simulate(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.JobsStarted.Value(); got != int64(res.Completed) {
+		t.Fatalf("jobs_started %d, want %d", got, res.Completed)
+	}
+	if got := m.JobsDropped.Value(); got != int64(res.Dropped) {
+		t.Fatalf("jobs_dropped %d, want %d", got, res.Dropped)
+	}
+	if got := m.JobsCompleted.Value(); got != int64(res.Completed) {
+		t.Fatalf("jobs_completed %d, want %d", got, res.Completed)
+	}
+	if m.PackingPasses.Value() <= 0 {
+		t.Fatal("no packing passes counted")
+	}
+	if m.HOLStalls.Value() <= 0 {
+		t.Fatal("no head-of-line stalls counted on a 2-node cluster")
+	}
+	if got := m.PeakReservedW.Value(); got != int64(res.PeakPowerW) {
+		t.Fatalf("peak_reserved_w %d, want %d", got, int64(res.PeakPowerW))
+	}
+}

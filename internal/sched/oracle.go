@@ -1,0 +1,157 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"vasppower/internal/rng"
+	"vasppower/internal/sim"
+)
+
+// simulateOracle is the pre-refactor simulate loop, retained verbatim
+// as the reference implementation for differential tests: a 30-second
+// cycle ticker that rescans the entire waiting queue (O(cycles ×
+// queue)), per-job arrival closures, and a string-keyed active map.
+// The incremental loop in Simulate must produce bit-identical Results
+// on every input the oracle can run.
+//
+// Limitations (by construction, do not fix): it ignores
+// cfg.BudgetSchedule (constant-budget only), and a job mix that can
+// never finish (e.g. a job whose reservation exceeds the budget
+// forever) ticks forever instead of returning the "never started"
+// error — the incremental loop detects that deadlock.
+func simulateOracle(cfg SimConfig, jobs []Job) (Result, error) {
+	if cfg.ClusterNodes <= 0 {
+		return Result{}, fmt.Errorf("sched: cluster size %d", cfg.ClusterNodes)
+	}
+	if cfg.Policy == nil || cfg.Catalog == nil {
+		return Result{}, fmt.Errorf("sched: missing policy or catalog")
+	}
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return Result{}, err
+		}
+		if j.Nodes > cfg.ClusterNodes {
+			return Result{}, fmt.Errorf("sched: job %s needs %d nodes, cluster has %d", j.ID, j.Nodes, cfg.ClusterNodes)
+		}
+	}
+	queue := append([]Job(nil), jobs...)
+	SortJobs(queue)
+
+	var jitter *rng.Stream
+	if cfg.JitterSeed != 0 {
+		jitter = rng.New(cfg.JitterSeed)
+	}
+
+	type running struct {
+		job     Job
+		outcome JobOutcome
+	}
+	engine := sim.New()
+	freeNodes := cfg.ClusterNodes
+	reservedW := float64(cfg.ClusterNodes) * cfg.IdleNodeW
+	res := Result{Policy: cfg.Policy.Name(), BudgetW: cfg.BudgetW, ClusterNodes: cfg.ClusterNodes}
+	res.PeakPowerW = reservedW
+	remaining := len(queue) // jobs not yet completed (or dropped)
+
+	active := map[string]*running{}
+	var outcomes []JobOutcome
+
+	// tryStart greedily starts queued jobs (FIFO with first-fit skip,
+	// like a backfilling scheduler without reservations).
+	var waiting []Job
+	tryStart := func(now float64) {
+		kept := waiting[:0]
+		for _, j := range waiting {
+			class := Classify(j.Bench.Method)
+			cap := cfg.Policy.Cap(class)
+			perNodeW := cfg.Policy.BudgetPowerPerNode(class)
+			needW := float64(j.Nodes) * (perNodeW - cfg.IdleNodeW)
+			fits := j.Nodes <= freeNodes &&
+				(cfg.BudgetW <= 0 || reservedW+needW <= cfg.BudgetW)
+			if !fits {
+				kept = append(kept, j)
+				continue
+			}
+			prof, err := cfg.Catalog.Get(j.Bench, j.Nodes, cap)
+			if err != nil {
+				// Unrunnable configuration: drop the job rather than
+				// deadlocking the queue.
+				remaining--
+				res.Dropped++
+				res.DroppedIDs = append(res.DroppedIDs, j.ID)
+				continue
+			}
+			rt := prof.Runtime
+			if jitter != nil {
+				rt *= jitter.LogNormal(0, 0.02)
+			}
+			freeNodes -= j.Nodes
+			reservedW += needW
+			if reservedW > res.PeakPowerW {
+				res.PeakPowerW = reservedW
+			}
+			r := &running{job: j, outcome: JobOutcome{
+				ID: j.ID, Class: class, CapW: cap,
+				Start: now, End: now + rt, Wait: now - j.Arrival,
+				Runtime: rt, PerfLoss: prof.PerfLoss(),
+				EnergyJ:     prof.EnergyJ,
+				PowerW:      float64(j.Nodes) * perNodeW,
+				Nodes:       j.Nodes,
+				ActualMeanW: float64(j.Nodes) * prof.MeanNodeW,
+			}}
+			active[j.ID] = r
+			jj := j
+			engine.At(now+rt, func() {
+				freeNodes += jj.Nodes
+				reservedW -= needW
+				outcomes = append(outcomes, r.outcome)
+				delete(active, jj.ID)
+				remaining--
+			})
+		}
+		waiting = kept
+	}
+
+	// Arrival events enqueue jobs; a 30-second cycle ticker runs the
+	// scheduling pass.
+	for _, j := range queue {
+		jj := j
+		engine.At(j.Arrival, func() {
+			waiting = append(waiting, jj)
+		})
+	}
+	var cycle func()
+	cycle = func() {
+		tryStart(engine.Now())
+		if remaining > 0 {
+			engine.After(CycleSeconds, cycle)
+		}
+	}
+	engine.At(0, cycle)
+	engine.Run()
+
+	if len(waiting) > 0 {
+		return Result{}, fmt.Errorf("sched: %d jobs never started", len(waiting))
+	}
+	sort.Slice(outcomes, func(i, k int) bool { return outcomes[i].ID < outcomes[k].ID })
+	res.Outcomes = outcomes
+	res.Completed = len(outcomes)
+	var waitSum, lossSum float64
+	for _, o := range outcomes {
+		res.TotalEnergyJ += o.EnergyJ
+		waitSum += o.Wait
+		res.MaxWait = math.Max(res.MaxWait, o.Wait)
+		lossSum += o.PerfLoss
+		res.Makespan = math.Max(res.Makespan, o.End)
+	}
+	if len(outcomes) > 0 {
+		res.MeanWait = waitSum / float64(len(outcomes))
+		res.MeanPerfLoss = lossSum / float64(len(outcomes))
+	}
+	if res.Makespan > 0 {
+		res.Throughput = float64(res.Completed) / (res.Makespan / 3600)
+	}
+	return res, nil
+}

@@ -8,7 +8,6 @@ import (
 	"vasppower/internal/rng"
 	"vasppower/internal/sim"
 	"vasppower/internal/timeseries"
-	"vasppower/internal/workloads"
 )
 
 // CycleSeconds is the scheduling cycle length; the paper notes power
@@ -16,12 +15,29 @@ import (
 // seconds" (§VI-A).
 const CycleSeconds = 30.0
 
+// BudgetPhase is one step of a time-varying facility power envelope:
+// from Start seconds on, the facility budget is BudgetW watts (0 =
+// unconstrained from then on). A schedule of phases models the
+// envelopes real facilities live under — demand-response windows,
+// time-of-day tariffs, co-scheduled partitions — so cap policies can
+// be ablated against a realistic envelope rather than one flat cap.
+type BudgetPhase struct {
+	Start   float64
+	BudgetW float64
+}
+
 // SimConfig configures one scheduler simulation.
 type SimConfig struct {
 	ClusterNodes int
 	// BudgetW is the facility power budget for the GPU partition; 0
 	// disables budget packing (nodes are the only constraint).
 	BudgetW float64
+	// BudgetSchedule optionally varies the budget over time: BudgetW
+	// applies until the first phase starts, then each phase's BudgetW
+	// from its Start on. Phases must be sorted by Start. A budget drop
+	// never kills running jobs; it only blocks new starts until
+	// reservations drain below the new envelope.
+	BudgetSchedule []BudgetPhase
 	// IdleNodeW is the power reserved per idle node.
 	IdleNodeW float64
 	Policy    Policy
@@ -62,15 +78,31 @@ type Result struct {
 	Outcomes     []JobOutcome
 	BudgetW      float64
 	ClusterNodes int
+	// Dropped counts jobs discarded because their configuration could
+	// not be profiled (Catalog.Get failed); DroppedIDs lists them in
+	// drop order. A silent drop is a debugging dead end — a facility
+	// run that "completes" 99,960 of 100,000 jobs must say which 40
+	// vanished and why.
+	Dropped    int
+	DroppedIDs []string
 }
 
 // Simulate runs the job mix through the scheduler under the policy.
+//
+// The loop is incremental and event-driven: jobs are index-addressed
+// records in preallocated slices (no per-job closures or map
+// entries), the waiting queue is a set of per-(nodes, class) FIFO
+// buckets, and a packing pass runs only at 30-second cycle boundaries
+// that follow a capacity change (arrival, completion, budget phase) —
+// never on an unconditional ticker. The results are bit-identical to
+// the retained reference implementation (see oracle.go and the
+// equivalence argument in DESIGN.md): within a pass capacity only
+// shrinks, so FIFO first-fit-skip over the whole queue equals
+// repeatedly starting the lowest-sequence fitting bucket head, and a
+// pass after an unchanged cycle is provably a no-op.
 func Simulate(cfg SimConfig, jobs []Job) (Result, error) {
-	if cfg.ClusterNodes <= 0 {
-		return Result{}, fmt.Errorf("sched: cluster size %d", cfg.ClusterNodes)
-	}
-	if cfg.Policy == nil || cfg.Catalog == nil {
-		return Result{}, fmt.Errorf("sched: missing policy or catalog")
+	if err := validateConfig(cfg); err != nil {
+		return Result{}, err
 	}
 	for _, j := range jobs {
 		if err := j.Validate(); err != nil {
@@ -82,101 +114,448 @@ func Simulate(cfg SimConfig, jobs []Job) (Result, error) {
 	}
 	queue := append([]Job(nil), jobs...)
 	SortJobs(queue)
+	return simulate(cfg, &sliceStream{jobs: queue}, false)
+}
 
-	var jitter *rng.Stream
+// SimulateStream is Simulate over a lazily generated job stream (see
+// JobStream): the facility-scale entry point, where a 100k-job mix is
+// pulled in arrival order instead of materializing up front. Jobs are
+// validated as they are drawn, so an invalid job surfaces only once
+// virtual time reaches its arrival.
+func SimulateStream(cfg SimConfig, src JobStream) (Result, error) {
+	if err := validateConfig(cfg); err != nil {
+		return Result{}, err
+	}
+	if src == nil {
+		return Result{}, fmt.Errorf("sched: nil job stream")
+	}
+	return simulate(cfg, src, true)
+}
+
+func validateConfig(cfg SimConfig) error {
+	if cfg.ClusterNodes <= 0 {
+		return fmt.Errorf("sched: cluster size %d", cfg.ClusterNodes)
+	}
+	if cfg.Policy == nil || cfg.Catalog == nil {
+		return fmt.Errorf("sched: missing policy or catalog")
+	}
+	prev := math.Inf(-1)
+	for i, ph := range cfg.BudgetSchedule {
+		if math.IsNaN(ph.Start) || math.IsInf(ph.Start, 0) || ph.Start < 0 {
+			return fmt.Errorf("sched: budget phase %d at invalid time %v", i, ph.Start)
+		}
+		if ph.Start < prev {
+			return fmt.Errorf("sched: budget schedule not sorted at phase %d (%v after %v)", i, ph.Start, prev)
+		}
+		if math.IsNaN(ph.BudgetW) || ph.BudgetW < 0 {
+			return fmt.Errorf("sched: budget phase %d with invalid budget %v", i, ph.BudgetW)
+		}
+		prev = ph.Start
+	}
+	return nil
+}
+
+// bucketKey groups waiting jobs that are interchangeable to the
+// packer: same node demand and same class ⇒ same cap, reservation,
+// and fit test.
+type bucketKey struct {
+	nodes int
+	class Class
+}
+
+// bucket is one FIFO of waiting jobs with identical packing
+// requirements, threaded intrusively through jobRec.next. Because all
+// members need exactly the same capacity, if the head does not fit,
+// none behind it does — which is what turns the O(queue) first-fit
+// scan into an O(buckets) head inspection.
+type bucket struct {
+	nodes    int
+	class    Class
+	capW     float64
+	perNodeW float64
+	needW    float64 // reservation above idle for one job of this bucket
+	head     int32   // index into recs, -1 = empty
+	tail     int32
+}
+
+// jobRec is one job's record in the simulation: its queue linkage
+// while waiting, its reservation while running, and its outcome. Jobs
+// are addressed by index (arrival sequence) everywhere — no string
+// keys, no per-job closures.
+type jobRec struct {
+	job     Job
+	next    int32 // next index in the same bucket's FIFO, -1 = none
+	needW   float64
+	outcome JobOutcome
+}
+
+// simState is the incremental simulate loop. All event callbacks are
+// bound once (arriveFn/passFn/envFn/completeFn), so the steady state
+// allocates nothing per job beyond the amortized growth of recs and
+// outcomes.
+type simState struct {
+	cfg    SimConfig
+	engine *sim.Engine
+	jitter *rng.Stream
+	src    JobStream
+	lazy   bool // validate jobs as drawn (stream path)
+	m      *Metrics
+
+	recs    []jobRec
+	buckets []bucket
+	bindex  map[bucketKey]int32
+
+	pending     Job
+	havePending bool
+	lastArrival float64
+
+	freeNodes int
+	reservedW float64
+	peakW     float64
+	budgetW   float64
+	phaseIdx  int
+
+	waiting    int
+	started    int
+	dropped    int
+	droppedIDs []string
+	outcomes   []JobOutcome
+
+	passScheduled bool
+	passes        int64
+	holStalls     int64
+
+	err error
+
+	arriveFn   func()
+	passFn     func()
+	envFn      func()
+	completeFn func(int)
+}
+
+func simulate(cfg SimConfig, src JobStream, lazy bool) (Result, error) {
+	s := &simState{
+		cfg:       cfg,
+		engine:    sim.New(),
+		src:       src,
+		lazy:      lazy,
+		m:         metrics.Load(),
+		bindex:    make(map[bucketKey]int32),
+		freeNodes: cfg.ClusterNodes,
+		reservedW: float64(cfg.ClusterNodes) * cfg.IdleNodeW,
+		budgetW:   cfg.BudgetW,
+	}
+	s.peakW = s.reservedW
 	if cfg.JitterSeed != 0 {
-		jitter = rng.New(cfg.JitterSeed)
+		s.jitter = rng.New(cfg.JitterSeed)
 	}
-
-	type running struct {
-		job     Job
-		outcome JobOutcome
-	}
-	engine := sim.New()
-	freeNodes := cfg.ClusterNodes
-	reservedW := float64(cfg.ClusterNodes) * cfg.IdleNodeW
-	res := Result{Policy: cfg.Policy.Name(), BudgetW: cfg.BudgetW, ClusterNodes: cfg.ClusterNodes}
-	res.PeakPowerW = reservedW
-	remaining := len(queue) // jobs not yet completed (or dropped)
-
-	active := map[string]*running{}
-	var outcomes []JobOutcome
-
-	// tryStart greedily starts queued jobs (FIFO with first-fit skip,
-	// like a backfilling scheduler without reservations).
-	var waiting []Job
-	tryStart := func(now float64) {
-		kept := waiting[:0]
-		for _, j := range waiting {
-			class := Classify(j.Bench.Method)
-			cap := cfg.Policy.Cap(class)
-			perNodeW := cfg.Policy.BudgetPowerPerNode(class)
-			needW := float64(j.Nodes) * (perNodeW - cfg.IdleNodeW)
-			fits := j.Nodes <= freeNodes &&
-				(cfg.BudgetW <= 0 || reservedW+needW <= cfg.BudgetW)
-			if !fits {
-				kept = append(kept, j)
-				continue
-			}
-			prof, err := cfg.Catalog.Get(j.Bench, j.Nodes, cap)
-			if err != nil {
-				// Unrunnable configuration: drop the job rather than
-				// deadlocking the queue.
-				remaining--
-				continue
-			}
-			rt := prof.Runtime
-			if jitter != nil {
-				rt *= jitter.LogNormal(0, 0.02)
-			}
-			freeNodes -= j.Nodes
-			reservedW += needW
-			if reservedW > res.PeakPowerW {
-				res.PeakPowerW = reservedW
-			}
-			r := &running{job: j, outcome: JobOutcome{
-				ID: j.ID, Class: class, CapW: cap,
-				Start: now, End: now + rt, Wait: now - j.Arrival,
-				Runtime: rt, PerfLoss: prof.PerfLoss(),
-				EnergyJ:     prof.EnergyJ,
-				PowerW:      float64(j.Nodes) * perNodeW,
-				Nodes:       j.Nodes,
-				ActualMeanW: float64(j.Nodes) * prof.MeanNodeW,
-			}}
-			active[j.ID] = r
-			jj := j
-			engine.At(now+rt, func() {
-				freeNodes += jj.Nodes
-				reservedW -= needW
-				outcomes = append(outcomes, r.outcome)
-				delete(active, jj.ID)
-				remaining--
-			})
+	if h, ok := src.(SizeHinter); ok {
+		if n := h.SizeHint(); n > 0 {
+			s.recs = make([]jobRec, 0, n)
+			s.outcomes = make([]JobOutcome, 0, n)
 		}
-		waiting = kept
 	}
+	s.arriveFn = s.arrive
+	s.passFn = s.pass
+	s.completeFn = s.complete
 
-	// Arrival events enqueue jobs; a 30-second cycle ticker runs the
-	// scheduling pass.
-	for _, j := range queue {
-		jj := j
-		engine.At(j.Arrival, func() {
-			waiting = append(waiting, jj)
+	// Kick off the arrival chain first, then the envelope chain, so an
+	// arrival and a phase at the same instant keep that order (both
+	// precede any pass at that instant regardless — see pass).
+	s.advance()
+	if s.err != nil {
+		return Result{}, s.err
+	}
+	if s.havePending {
+		s.engine.At(s.pending.Arrival, s.arriveFn)
+	}
+	if len(cfg.BudgetSchedule) > 0 {
+		s.envFn = s.envelope
+		s.engine.At(cfg.BudgetSchedule[0].Start, s.envFn)
+	}
+	for s.err == nil && s.engine.Step() {
+	}
+	if s.err != nil {
+		return Result{}, s.err
+	}
+	if s.waiting > 0 {
+		// Unlike the ticker loop (which would spin forever), running
+		// out of events with jobs still queued is a detected deadlock:
+		// nothing pending can ever free the capacity they need.
+		return Result{}, fmt.Errorf("sched: %d jobs never started", s.waiting)
+	}
+	return s.result(), nil
+}
+
+// advance pulls the next job from the stream into pending, validating
+// lazily on the stream path and enforcing arrival order on both.
+func (s *simState) advance() {
+	j, ok := s.src.Next()
+	if !ok {
+		s.havePending = false
+		return
+	}
+	if s.lazy {
+		if err := j.Validate(); err != nil {
+			s.err = err
+			s.havePending = false
+			return
+		}
+		if j.Nodes > s.cfg.ClusterNodes {
+			s.err = fmt.Errorf("sched: job %s needs %d nodes, cluster has %d", j.ID, j.Nodes, s.cfg.ClusterNodes)
+			s.havePending = false
+			return
+		}
+	}
+	if j.Arrival < s.lastArrival {
+		s.err = fmt.Errorf("sched: job %s arrives at %v, before the previous job at %v (streams must be sorted by arrival)",
+			j.ID, j.Arrival, s.lastArrival)
+		s.havePending = false
+		return
+	}
+	s.lastArrival = j.Arrival
+	s.pending = j
+	s.havePending = true
+}
+
+// arrive is the (single, reused) arrival-chain callback: drain every
+// job whose arrival time has come, then schedule the chain's next
+// link at the following arrival.
+func (s *simState) arrive() {
+	s.drainArrivals(s.engine.Now())
+	if s.err == nil && s.havePending {
+		s.engine.At(s.pending.Arrival, s.arriveFn)
+	}
+}
+
+// drainArrivals enqueues every job with Arrival ≤ now. The pass
+// callback also calls it before packing, which guarantees a pass at
+// cycle boundary t sees all arrivals at t even when the chain link
+// for them was scheduled after the pass event (same-instant event
+// order in the engine is creation order).
+func (s *simState) drainArrivals(now float64) {
+	n := 0
+	for s.err == nil && s.havePending && s.pending.Arrival <= now {
+		s.enqueue(s.pending)
+		s.advance()
+		n++
+	}
+	if n > 0 {
+		s.schedulePass()
+	}
+}
+
+// enqueue appends a job record and links it onto its bucket's FIFO,
+// creating the bucket (with its policy-derived cap and reservation)
+// on first sight of the (nodes, class) pair.
+func (s *simState) enqueue(j Job) {
+	idx := int32(len(s.recs))
+	s.recs = append(s.recs, jobRec{job: j, next: -1})
+	class := Classify(j.Bench.Method)
+	k := bucketKey{j.Nodes, class}
+	bi, ok := s.bindex[k]
+	if !ok {
+		perNodeW := s.cfg.Policy.BudgetPowerPerNode(class)
+		bi = int32(len(s.buckets))
+		s.buckets = append(s.buckets, bucket{
+			nodes:    j.Nodes,
+			class:    class,
+			capW:     s.cfg.Policy.Cap(class),
+			perNodeW: perNodeW,
+			needW:    float64(j.Nodes) * (perNodeW - s.cfg.IdleNodeW),
+			head:     -1,
+			tail:     -1,
 		})
+		s.bindex[k] = bi
 	}
-	var cycle func()
-	cycle = func() {
-		tryStart(engine.Now())
-		if remaining > 0 {
-			engine.After(CycleSeconds, cycle)
+	b := &s.buckets[bi]
+	if b.tail >= 0 {
+		s.recs[b.tail].next = idx
+	} else {
+		b.head = idx
+	}
+	b.tail = idx
+	s.waiting++
+}
+
+// schedulePass arms one packing pass at the next cycle boundary (the
+// smallest multiple of CycleSeconds ≥ now), if none is armed and
+// there is anything to pack. Passes are only ever armed here, from
+// capacity-changing events — the event-driven replacement for the
+// unconditional cycle ticker.
+func (s *simState) schedulePass() {
+	if s.passScheduled || s.waiting == 0 {
+		return
+	}
+	s.passScheduled = true
+	s.engine.At(nextCycle(s.engine.Now()), s.passFn)
+}
+
+// nextCycle returns the smallest multiple of CycleSeconds ≥ t,
+// guarding against the division rounding across the boundary in
+// either direction.
+func nextCycle(t float64) float64 {
+	k := math.Ceil(t / CycleSeconds)
+	q := k * CycleSeconds
+	if q < t {
+		q = (k + 1) * CycleSeconds
+	}
+	return q
+}
+
+// envelope is the budget-phase chain callback.
+func (s *simState) envelope() {
+	s.applyEnvelope(s.engine.Now())
+	if s.phaseIdx < len(s.cfg.BudgetSchedule) {
+		s.engine.At(s.cfg.BudgetSchedule[s.phaseIdx].Start, s.envFn)
+	}
+}
+
+// applyEnvelope advances the budget to the latest phase with
+// Start ≤ now. Any change arms a pass: a rise may admit waiting jobs,
+// and treating drops the same way costs one O(buckets) no-op.
+func (s *simState) applyEnvelope(now float64) {
+	for s.phaseIdx < len(s.cfg.BudgetSchedule) && s.cfg.BudgetSchedule[s.phaseIdx].Start <= now {
+		nb := s.cfg.BudgetSchedule[s.phaseIdx].BudgetW
+		s.phaseIdx++
+		if nb != s.budgetW {
+			s.budgetW = nb
+			s.schedulePass()
 		}
 	}
-	engine.At(0, cycle)
-	engine.Run()
+}
 
-	if len(waiting) > 0 {
-		return Result{}, fmt.Errorf("sched: %d jobs never started", len(waiting))
+// pass is the packing pass, run only at cycle boundaries armed by
+// schedulePass. It first catches up on same-instant state (budget
+// phases, arrivals), then packs.
+func (s *simState) pass() {
+	now := s.engine.Now()
+	s.applyEnvelope(now)
+	s.drainArrivals(now)
+	if s.err != nil {
+		return
 	}
+	s.pack(now)
+	s.passScheduled = false
+}
+
+// pack repeatedly starts the lowest-arrival-sequence waiting job that
+// fits the current capacity, which is exactly what one FIFO
+// first-fit-skip scan over the whole queue would start (capacity only
+// shrinks within a pass, so a job found unfittable stays unfittable,
+// and within a bucket the head is always the first candidate). Cost:
+// O(buckets) per started job plus O(buckets) to conclude nothing
+// fits — the head-of-line early exit.
+func (s *simState) pack(now float64) {
+	s.passes++
+	if s.m != nil {
+		s.m.PackingPasses.Inc()
+	}
+	for {
+		best := int32(-1)
+		var bb *bucket
+		for i := range s.buckets {
+			b := &s.buckets[i]
+			if b.head < 0 || b.nodes > s.freeNodes {
+				continue
+			}
+			if s.budgetW > 0 && s.reservedW+b.needW > s.budgetW {
+				continue
+			}
+			if best < 0 || b.head < best {
+				best = b.head
+				bb = b
+			}
+		}
+		if best < 0 {
+			break
+		}
+		rec := &s.recs[best]
+		bb.head = rec.next
+		if bb.head < 0 {
+			bb.tail = -1
+		}
+		rec.next = -1
+		s.waiting--
+		s.startOrDrop(now, best, bb)
+	}
+	if s.waiting > 0 {
+		s.holStalls++
+		if s.m != nil {
+			s.m.HOLStalls.Inc()
+		}
+	}
+}
+
+// startOrDrop starts the job at recs[idx] under its bucket's cap, or
+// drops it (recorded, not silent) when its configuration cannot be
+// profiled.
+func (s *simState) startOrDrop(now float64, idx int32, b *bucket) {
+	rec := &s.recs[idx]
+	j := rec.job
+	prof, err := s.cfg.Catalog.Get(j.Bench, j.Nodes, b.capW)
+	if err != nil {
+		// Unrunnable configuration: drop the job rather than
+		// deadlocking the queue, and record it in the Result.
+		s.dropped++
+		s.droppedIDs = append(s.droppedIDs, j.ID)
+		if s.m != nil {
+			s.m.JobsDropped.Inc()
+		}
+		rec.job = Job{}
+		return
+	}
+	rt := prof.Runtime
+	if s.jitter != nil {
+		rt *= s.jitter.LogNormal(0, 0.02)
+	}
+	s.freeNodes -= j.Nodes
+	s.reservedW += b.needW
+	if s.reservedW > s.peakW {
+		s.peakW = s.reservedW
+	}
+	rec.needW = b.needW
+	rec.outcome = JobOutcome{
+		ID: j.ID, Class: b.class, CapW: b.capW,
+		Start: now, End: now + rt, Wait: now - j.Arrival,
+		Runtime: rt, PerfLoss: prof.PerfLoss(),
+		EnergyJ:     prof.EnergyJ,
+		PowerW:      float64(j.Nodes) * b.perNodeW,
+		Nodes:       j.Nodes,
+		ActualMeanW: float64(j.Nodes) * prof.MeanNodeW,
+	}
+	rec.job = Job{} // the benchmark is no longer needed; let it go
+	s.started++
+	if s.m != nil {
+		s.m.JobsStarted.Inc()
+	}
+	s.engine.AtArg(now+rt, s.completeFn, int(idx))
+}
+
+// complete is the (single, reused) completion callback: free the
+// job's capacity, record its outcome, and arm a pass if anything is
+// waiting for that capacity.
+func (s *simState) complete(idx int) {
+	rec := &s.recs[idx]
+	s.freeNodes += rec.outcome.Nodes
+	s.reservedW -= rec.needW
+	s.outcomes = append(s.outcomes, rec.outcome)
+	if s.m != nil {
+		s.m.JobsCompleted.Inc()
+	}
+	s.schedulePass()
+}
+
+// result assembles the Result exactly as the reference loop does
+// (sort by ID first, then accumulate in that order, so the floating-
+// point sums are bit-identical).
+func (s *simState) result() Result {
+	res := Result{
+		Policy: s.cfg.Policy.Name(), BudgetW: s.cfg.BudgetW, ClusterNodes: s.cfg.ClusterNodes,
+		Dropped: s.dropped, DroppedIDs: s.droppedIDs,
+	}
+	res.PeakPowerW = s.peakW
+	outcomes := s.outcomes
 	sort.Slice(outcomes, func(i, k int) bool { return outcomes[i].ID < outcomes[k].ID })
 	res.Outcomes = outcomes
 	res.Completed = len(outcomes)
@@ -195,53 +574,12 @@ func Simulate(cfg SimConfig, jobs []Job) (Result, error) {
 	if res.Makespan > 0 {
 		res.Throughput = float64(res.Completed) / (res.Makespan / 3600)
 	}
-	return res, nil
-}
-
-// SyntheticJobMix builds a reproducible mix of VASP jobs drawn from
-// the Table I suite with Poisson-ish arrivals — the workload for the
-// scheduler ablation. Heavy RPA/HSE jobs appear less often than plain
-// DFT, mirroring production mixes.
-func SyntheticJobMix(n int, meanInterArrival float64, seed uint64) []Job {
-	r := rng.New(seed)
-	suite := []struct {
-		name   string
-		weight float64
-		nodes  []int
-	}{
-		{"PdO2", 0.25, []int{1, 2}},
-		{"PdO4", 0.20, []int{1, 2}},
-		{"GaAsBi-64", 0.20, []int{1, 2}},
-		{"CuC_vdw", 0.15, []int{1}},
-		{"B.hR105_hse", 0.10, []int{1, 2}},
-		{"Si128_acfdtr", 0.10, []int{1, 2}},
-	}
-	var jobs []Job
-	t := 0.0
-	for i := 0; i < n; i++ {
-		t += r.Exponential(meanInterArrival)
-		x := r.Float64()
-		pick := suite[len(suite)-1]
-		acc := 0.0
-		for _, s := range suite {
-			acc += s.weight
-			if x <= acc {
-				pick = s
-				break
-			}
+	if s.m != nil {
+		if w := int64(s.peakW); w > s.m.PeakReservedW.Value() {
+			s.m.PeakReservedW.Set(w)
 		}
-		b, ok := workloads.ByName(pick.name)
-		if !ok {
-			continue
-		}
-		jobs = append(jobs, Job{
-			ID:      fmt.Sprintf("job%04d", i),
-			Bench:   b,
-			Nodes:   pick.nodes[r.IntN(len(pick.nodes))],
-			Arrival: t,
-		})
 	}
-	return jobs
+	return res
 }
 
 // Timelines reconstructs the cluster's power over the schedule as two
@@ -256,14 +594,17 @@ func (r Result) Timelines(idleNodeW float64) (reserved, actual *timeseries.Trace
 		dReserve float64
 		dActual  float64
 	}
-	var edges []edge
+	edges := make([]edge, 0, 2*len(r.Outcomes))
 	for _, o := range r.Outcomes {
 		idle := float64(o.Nodes) * idleNodeW
 		edges = append(edges,
 			edge{o.Start, o.PowerW - idle, o.ActualMeanW - idle},
 			edge{o.End, -(o.PowerW - idle), -(o.ActualMeanW - idle)})
 	}
-	sort.Slice(edges, func(i, k int) bool { return edges[i].t < edges[k].t })
+	// Stable sort with the construction order (Outcomes are sorted by
+	// ID) as the tiebreak, so coincident edges always apply in one
+	// deterministic order and the step functions are reproducible.
+	sort.SliceStable(edges, func(i, k int) bool { return edges[i].t < edges[k].t })
 	base := float64(r.ClusterNodes) * idleNodeW
 	reserved, actual = &timeseries.Trace{}, &timeseries.Trace{}
 	curR, curA := base, base

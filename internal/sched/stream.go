@@ -1,0 +1,134 @@
+package sched
+
+import (
+	"fmt"
+
+	"vasppower/internal/rng"
+	"vasppower/internal/workloads"
+)
+
+// JobStream feeds jobs to SimulateStream one at a time, in
+// nondecreasing Arrival order (ties must already be in the order
+// SortJobs would put them: by ID). Streaming is what lets a 100k-job
+// facility mix run without materializing the whole slice up front —
+// the simulate loop pulls jobs as virtual time reaches them.
+type JobStream interface {
+	// Next returns the next job; ok is false once the stream is
+	// exhausted. Implementations must be deterministic: two streams
+	// built from the same inputs yield the same jobs.
+	Next() (j Job, ok bool)
+}
+
+// SizeHinter is optionally implemented by a JobStream that knows
+// (an upper bound on) how many jobs remain; SimulateStream uses the
+// hint to preallocate its per-job records.
+type SizeHinter interface {
+	SizeHint() int
+}
+
+// sliceStream adapts a pre-sorted, pre-validated []Job to JobStream.
+type sliceStream struct {
+	jobs []Job
+	i    int
+}
+
+func (s *sliceStream) Next() (Job, bool) {
+	if s.i >= len(s.jobs) {
+		return Job{}, false
+	}
+	j := s.jobs[s.i]
+	s.i++
+	return j, true
+}
+
+func (s *sliceStream) SizeHint() int { return len(s.jobs) - s.i }
+
+// mixEntry is one benchmark's weight and node-count options in the
+// synthetic production mix.
+type mixEntry struct {
+	name   string
+	weight float64
+	nodes  []int
+}
+
+// mixSuite is the Table I draw table for SyntheticJobMix/Stream:
+// heavy RPA/HSE jobs appear less often than plain DFT, mirroring
+// production mixes.
+var mixSuite = []mixEntry{
+	{"PdO2", 0.25, []int{1, 2}},
+	{"PdO4", 0.20, []int{1, 2}},
+	{"GaAsBi-64", 0.20, []int{1, 2}},
+	{"CuC_vdw", 0.15, []int{1}},
+	{"B.hR105_hse", 0.10, []int{1, 2}},
+	{"Si128_acfdtr", 0.10, []int{1, 2}},
+}
+
+// SyntheticStream generates the SyntheticJobMix job sequence lazily:
+// the same jobs, in the same order, drawn from the same RNG stream,
+// but one at a time. Not safe for concurrent use; build one stream
+// per simulation.
+type SyntheticStream struct {
+	r    *rng.Stream
+	mean float64
+	n    int
+	i    int
+	t    float64
+}
+
+// SyntheticJobStream returns a stream of n jobs with Poisson-ish
+// arrivals (mean inter-arrival seconds) drawn from the Table I suite.
+// Draining it yields exactly SyntheticJobMix(n, meanInterArrival,
+// seed) — the two share one generator.
+func SyntheticJobStream(n int, meanInterArrival float64, seed uint64) *SyntheticStream {
+	return &SyntheticStream{r: rng.New(seed), mean: meanInterArrival, n: n}
+}
+
+// Next implements JobStream.
+func (s *SyntheticStream) Next() (Job, bool) {
+	for s.i < s.n {
+		i := s.i
+		s.i++
+		s.t += s.r.Exponential(s.mean)
+		x := s.r.Float64()
+		pick := mixSuite[len(mixSuite)-1]
+		acc := 0.0
+		for _, e := range mixSuite {
+			acc += e.weight
+			if x <= acc {
+				pick = e
+				break
+			}
+		}
+		b, ok := workloads.ByName(pick.name)
+		if !ok {
+			continue
+		}
+		return Job{
+			ID:      fmt.Sprintf("job%04d", i),
+			Bench:   b,
+			Nodes:   pick.nodes[s.r.IntN(len(pick.nodes))],
+			Arrival: s.t,
+		}, true
+	}
+	return Job{}, false
+}
+
+// SizeHint implements SizeHinter (an upper bound: draws whose
+// benchmark lookup fails are skipped, not emitted).
+func (s *SyntheticStream) SizeHint() int { return s.n - s.i }
+
+// SyntheticJobMix builds a reproducible mix of VASP jobs drawn from
+// the Table I suite with Poisson-ish arrivals — the workload for the
+// scheduler ablation. It drains SyntheticJobStream; prefer the stream
+// form for facility-scale mixes that should not materialize up front.
+func SyntheticJobMix(n int, meanInterArrival float64, seed uint64) []Job {
+	src := SyntheticJobStream(n, meanInterArrival, seed)
+	var jobs []Job
+	for {
+		j, ok := src.Next()
+		if !ok {
+			return jobs
+		}
+		jobs = append(jobs, j)
+	}
+}

@@ -155,6 +155,12 @@ type (
 	SchedulerResult = sched.Result
 	// SchedulerConfig configures the scheduler simulation.
 	SchedulerConfig = sched.SimConfig
+	// SchedulerJobStream feeds jobs lazily, in arrival order, to
+	// SimulateSchedulerStream — the facility-scale entry point.
+	SchedulerJobStream = sched.JobStream
+	// SchedulerBudgetPhase is one step of a time-varying facility
+	// power envelope (SchedulerConfig.BudgetSchedule).
+	SchedulerBudgetPhase = sched.BudgetPhase
 )
 
 // Scheduler policies for the ablation.
@@ -184,10 +190,23 @@ func SimulateScheduler(cfg SchedulerConfig, jobs []SchedulerJob) (SchedulerResul
 	return sched.Simulate(cfg, jobs)
 }
 
+// SimulateSchedulerStream runs a lazily generated job stream through
+// the power-aware scheduler — the facility-scale entry point (100k-job
+// mixes without materializing the slice).
+func SimulateSchedulerStream(cfg SchedulerConfig, src SchedulerJobStream) (SchedulerResult, error) {
+	return sched.SimulateStream(cfg, src)
+}
+
 // SyntheticJobMix builds a reproducible VASP job mix for scheduler
 // studies.
 func SyntheticJobMix(n int, meanInterArrival float64, seed uint64) []SchedulerJob {
 	return sched.SyntheticJobMix(n, meanInterArrival, seed)
+}
+
+// SyntheticJobStream is SyntheticJobMix as a lazy stream: the same
+// jobs in the same order, generated one at a time.
+func SyntheticJobStream(n int, meanInterArrival float64, seed uint64) SchedulerJobStream {
+	return sched.SyntheticJobStream(n, meanInterArrival, seed)
 }
 
 // Power prediction (§VI-C): estimate a job's high power mode from
