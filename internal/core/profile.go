@@ -131,6 +131,10 @@ type MeasureSpec struct {
 	// count: each repeat draws from its own seed-split noise stream and
 	// the minimum-runtime repeat is selected by index.
 	Workers int
+	// Entropy stamps every GPU kernel in the schedule with this operand
+	// entropy in [0,1]; 0 leaves kernels at the platform table's
+	// reference (no power shift).
+	Entropy float64
 }
 
 func (spec MeasureSpec) withDefaults() MeasureSpec {
@@ -152,13 +156,14 @@ func (spec MeasureSpec) withDefaults() MeasureSpec {
 func Measure(spec MeasureSpec) (JobProfile, error) {
 	spec = spec.withDefaults()
 	out, err := workloads.Run(workloads.RunSpec{
-		Bench:         spec.Bench,
-		Platform:      spec.Platform,
-		Nodes:         spec.Nodes,
-		GPUPowerLimit: spec.CapW,
-		Repeats:       spec.Repeats,
-		Seed:          spec.Seed,
-		Workers:       spec.Workers,
+		Bench:          spec.Bench,
+		Platform:       spec.Platform,
+		Nodes:          spec.Nodes,
+		GPUPowerLimit:  spec.CapW,
+		Repeats:        spec.Repeats,
+		Seed:           spec.Seed,
+		Workers:        spec.Workers,
+		OperandEntropy: spec.Entropy,
 	})
 	if err != nil {
 		return JobProfile{}, err

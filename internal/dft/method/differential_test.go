@@ -1,0 +1,60 @@
+package method_test
+
+import (
+	"testing"
+
+	"vasppower/internal/dft/method"
+	"vasppower/internal/hw/platform"
+	"vasppower/internal/workloads"
+)
+
+// TestTableResolutionMatchesLegacyOracle is the refactor's safety net:
+// every kernel any Table I benchmark can emit, under every method kind,
+// must resolve through the default platform's efficiency table to the
+// bit-exact profile the pre-refactor inline constants produced. This is
+// what keeps the default-platform golden output byte-identical.
+func TestTableResolutionMatchesLegacyOracle(t *testing.T) {
+	p := platform.Default()
+	if p.Efficiency == nil {
+		t.Fatal("default platform carries no efficiency table")
+	}
+	kernels := 0
+	for _, bench := range workloads.TableI() {
+		for _, kind := range method.Kinds() {
+			cfg, err := bench.Config(p, bench.OptimalNodes)
+			if err != nil {
+				t.Fatalf("%s: %v", bench.Name, err)
+			}
+			cfg.Kind = kind
+			if kind == method.ACFDTR && cfg.NBandsExact == 0 {
+				cfg.NBandsExact = 8000
+			}
+			sched, err := method.Build(cfg)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", bench.Name, kind, err)
+			}
+			for _, st := range sched.Steps {
+				if st.Kind != method.StepGPU {
+					continue
+				}
+				got, err := p.Efficiency.Resolve(st.GPU)
+				if err != nil {
+					t.Fatalf("%s/%s step %q: %v", bench.Name, kind, st.Label, err)
+				}
+				want, ok := method.LegacyResolve(st.GPU)
+				if !ok {
+					t.Fatalf("%s/%s step %q: class %q unknown to the oracle",
+						bench.Name, kind, st.Label, st.GPU.Class)
+				}
+				if got != want {
+					t.Fatalf("%s/%s step %q (class %q): table %+v != oracle %+v",
+						bench.Name, kind, st.Label, st.GPU.Class, got, want)
+				}
+				kernels++
+			}
+		}
+	}
+	if kernels < 1000 {
+		t.Fatalf("differential sweep covered only %d kernels", kernels)
+	}
+}

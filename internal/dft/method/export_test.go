@@ -1,0 +1,6 @@
+package method
+
+// LegacyResolve exposes the retained pre-table oracle to the external
+// differential test package (method_test), which needs to import
+// workloads and platform without creating an import cycle.
+var LegacyResolve = legacyResolve

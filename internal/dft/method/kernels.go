@@ -7,12 +7,12 @@ import (
 	"vasppower/internal/hw/gpu"
 )
 
-// Model constants — the calibration surface of the workload model.
-// Flop/byte formulas are the textbook counts for each algorithm; the
-// efficiency and activity curves below are fitted so the simulated
-// benchmarks land in the power bands the paper publishes (DESIGN.md
-// §4.3). Every constant is a statement about achievable efficiency,
-// not about the amount of algorithmic work.
+// Work-accounting constants. Flop/byte formulas are the textbook
+// counts for each algorithm; every constant here is a statement about
+// the *amount* of algorithmic work. How efficiently a platform runs
+// that work — occupancy caps, saturation sizes, SM activity — lives in
+// the platform's gpu.EfficiencyModel, not here: the builders emit pure
+// work descriptors and never touch an efficiency number.
 const (
 	// coarseGrain scales kernel work (flops AND bytes, so sustained
 	// power is unchanged) to account for everything the skeleton
@@ -24,56 +24,32 @@ const (
 
 	// fftFlopFactor inflates the textbook 5·N·log2(N) FFT flop count
 	// for twiddle arithmetic and transposes. Together with the
-	// occupancy caps below it fixes the compute/memory-critical clock
-	// ratio of FFT kernels (≈0.22), which controls how much a deep
-	// power cap can slow them.
+	// platform's FFT efficiency response it fixes the
+	// compute/memory-critical clock ratio of FFT kernels (≈0.22),
+	// which controls how much a deep power cap can slow them.
 	fftFlopFactor = 1.2
 	// fftBytesPasses is the effective number of full-array DRAM
 	// passes of a batched 3-D complex FFT.
 	fftBytesPasses = 2.6
-	// Efficiency/activity caps for band-FFT batches.
-	fftCompOccCap = 0.60
-	fftMemOccCap  = 0.85
-	fftSMACap     = 0.92
-	// Band FFTs can only batch NSIM bands (algorithmic dependency),
-	// so their GPU fill is governed by NSIM·NPLWV points in flight
-	// and by the number of resident bands per GPU.
-	fftPointsHalfSat = 2.5e6
-	bandsHalfSat     = 240.0
-	// occFloor keeps degenerate cases from dividing by ~zero.
-	occFloor = 0.05
 
-	// Exchange (HSE) pair transforms batch across all band pairs:
-	// their fill is governed by pairs·grid points in flight.
-	exchSMACap        = 0.76
-	exchMemOccCap     = 0.55
-	exchCompOccCap    = 0.60
-	exchPointsHalfSat = 3.7e8
 	// exchGemmSweeps is the number of blocked accumulation passes the
 	// exchange operator makes per pair batch (spin channels,
 	// augmentation contributions, ACE projection) — the compute-bound
 	// share of an HSE iteration.
 	exchGemmSweeps = 55.0
 
-	// GEMM efficiency: per-dimension half-saturation sizes.
-	gemmOccCap      = 0.96
-	gemmM0          = 300.0
-	gemmN0          = 12.0
-	gemmK0          = 24.0
+	// gemmBytesFactor inflates the operand footprint of a blocked
+	// complex GEMM for partial-tile re-reads.
 	gemmBytesFactor = 1.2
 
-	// Dense eigensolver on the GPU: heavily serialized panels.
-	eigOccCap     = 0.45
-	eigHalfSat    = 6e10
+	// eigFlopFactor is the flop prefactor of a dense complex
+	// eigensolve (reduction + QR iteration + backtransform), flops ≈
+	// eigFlopFactor·n³.
 	eigFlopFactor = 25.0
-	eigSMA        = 0.15
 
 	// Real-space nonlocal projection.
 	nlRealPoints     = 450.0
 	projectorsPerIon = 9.0
-
-	// launchLatency is the per-launch fixed cost, seconds.
-	launchLatency = 6e-6
 
 	// rpaTimePoints is the imaginary-time/frequency compression rank
 	// of the low-scaling RPA polarizability accumulation.
@@ -83,31 +59,14 @@ const (
 	complexBytes = 16.0
 )
 
-// sat is the saturating efficiency curve work/(work+half).
-func sat(work, half float64) float64 {
-	if work <= 0 {
-		return 0
-	}
-	return work / (work + half)
-}
-
-// floorOcc clamps an occupancy to [occFloor, 1].
-func floorOcc(x float64) float64 {
-	if x < occFloor {
-		return occFloor
-	}
-	if x > 1 {
-		return 1
-	}
-	return x
-}
-
 // coarse applies the schedule coarse-graining factor: more total work
 // at identical sustained rates (power unchanged, duration scaled).
+// The launch sequence is replayed coarseGrain times, so the fixed
+// launch latency scales identically.
 func coarse(k gpu.Kernel) gpu.Kernel {
 	k.Flops *= coarseGrain
 	k.Bytes *= coarseGrain
-	k.Latency *= coarseGrain
+	k.LatencyScale = coarseGrain
 	return k
 }
 
@@ -117,24 +76,22 @@ func coarse(k gpu.Kernel) gpu.Kernel {
 // therefore power — is governed by points-in-flight (nsim·nplwv) and
 // band availability (bpr): the mechanism by which small workloads
 // (GaAsBi-64) draw far less power than large ones (PdO4) on identical
-// hardware (Fig. 5).
+// hardware (Fig. 5). Both are size axes of the platform's FFT
+// efficiency response.
 func fftBatchKernel(label string, count, nplwv, nsim, bpr int) gpu.Kernel {
 	if count <= 0 || nplwv <= 0 || nsim <= 0 || bpr <= 0 {
 		panic(fmt.Sprintf("method: invalid FFT batch %s", label))
 	}
 	n := float64(nplwv)
-	fill := sat(float64(nsim)*n, fftPointsHalfSat) * sat(float64(bpr), bandsHalfSat)
 	perFFTFlops := 5 * n * math.Log2(n) * fftFlopFactor
 	perFFTBytes := complexBytes * n * fftBytesPasses
-	launches := math.Ceil(float64(count) / float64(nsim))
 	return coarse(gpu.Kernel{
-		Name:       label,
-		Flops:      float64(count) * perFFTFlops,
-		Bytes:      float64(count) * perFFTBytes,
-		ComputeOcc: floorOcc(fftCompOccCap * fill),
-		MemOcc:     floorOcc(fftMemOccCap * fill),
-		SMActivity: fftSMACap * fill,
-		Latency:    launches * launchLatency,
+		Name:     label,
+		Class:    gpu.ClassFFT,
+		Flops:    float64(count) * perFFTFlops,
+		Bytes:    float64(count) * perFFTBytes,
+		Axes:     [3]float64{float64(nsim) * n, float64(bpr)},
+		Launches: math.Ceil(float64(count) / float64(nsim)),
 	})
 }
 
@@ -149,34 +106,32 @@ func exchangeFFTKernel(label string, pairs, transformsPerPair, npwx int) gpu.Ker
 		panic(fmt.Sprintf("method: invalid exchange FFT %s", label))
 	}
 	n := float64(npwx)
-	fill := sat(float64(pairs)*n, exchPointsHalfSat)
 	count := float64(pairs) * float64(transformsPerPair)
 	return coarse(gpu.Kernel{
-		Name:       label,
-		Flops:      count * 5 * n * math.Log2(n) * fftFlopFactor,
-		Bytes:      count * complexBytes * n * fftBytesPasses,
-		ComputeOcc: floorOcc(exchCompOccCap * fill),
-		MemOcc:     floorOcc(exchMemOccCap * fill),
-		SMActivity: exchSMACap * fill,
-		Latency:    math.Ceil(count/512) * launchLatency,
+		Name:     label,
+		Class:    gpu.ClassExchangeFFT,
+		Flops:    count * 5 * n * math.Log2(n) * fftFlopFactor,
+		Bytes:    count * complexBytes * n * fftBytesPasses,
+		Axes:     [3]float64{float64(pairs) * n},
+		Launches: math.Ceil(count / 512),
 	})
 }
 
-// gemmKernel models a complex GEMM C(m×n) += A(m×k)·B(k×n). GEMMs are
-// compute-bound: SM activity follows the achieved efficiency.
+// gemmKernel models a complex GEMM C(m×n) += A(m×k)·B(k×n). The
+// platform's GEMM response saturates per dimension, so the descriptor
+// carries m, n, k as its size axes.
 func gemmKernel(label string, m, n, k int) gpu.Kernel {
 	if m <= 0 || n <= 0 || k <= 0 {
 		panic(fmt.Sprintf("method: invalid GEMM %s (%d×%d×%d)", label, m, n, k))
 	}
 	fm, fn, fk := float64(m), float64(n), float64(k)
-	occ := gemmOccCap * sat(fm, gemmM0) * sat(fn, gemmN0) * sat(fk, gemmK0)
 	return coarse(gpu.Kernel{
-		Name:       label,
-		Flops:      8 * fm * fn * fk,
-		Bytes:      complexBytes * (fm*fn + fm*fk + fn*fk) * gemmBytesFactor,
-		ComputeOcc: floorOcc(occ),
-		MemOcc:     0.70,
-		Latency:    launchLatency,
+		Name:     label,
+		Class:    gpu.ClassGEMM,
+		Flops:    8 * fm * fn * fk,
+		Bytes:    complexBytes * (fm*fn + fm*fk + fn*fk) * gemmBytesFactor,
+		Axes:     [3]float64{fm, fn, fk},
+		Launches: 1,
 	})
 }
 
@@ -191,7 +146,8 @@ func exchangeGemmKernel(label string, npwx, bpr, nocc int) gpu.Kernel {
 }
 
 // eigKernel models a dense complex eigensolve of an n×n subspace
-// matrix on the GPU.
+// matrix on the GPU: heavily serialized panels, so the efficiency
+// response saturates with the total flop count (axis 0).
 func eigKernel(label string, n int) gpu.Kernel {
 	if n <= 0 {
 		panic("method: invalid eigensolve size")
@@ -199,30 +155,29 @@ func eigKernel(label string, n int) gpu.Kernel {
 	fn := float64(n)
 	flops := eigFlopFactor * fn * fn * fn
 	return coarse(gpu.Kernel{
-		Name:       label,
-		Flops:      flops,
-		Bytes:      complexBytes * fn * fn * 12,
-		ComputeOcc: floorOcc(eigOccCap * sat(flops, eigHalfSat)),
-		MemOcc:     0.5,
-		SMActivity: eigSMA,
-		Latency:    math.Ceil(fn/64) * launchLatency * 4,
+		Name:     label,
+		Class:    gpu.ClassEig,
+		Flops:    flops,
+		Bytes:    complexBytes * fn * fn * 12,
+		Axes:     [3]float64{flops},
+		Launches: math.Ceil(fn / 64),
 	})
 }
 
 // nonlocalKernel models real-space nonlocal projection for all local
-// bands in one H·ψ application set.
+// bands in one H·ψ application set. Compute saturates with the total
+// projection work (axis 0); bandwidth and SM activity with the
+// resident band count (axis 1).
 func nonlocalKernel(label string, nions, bands, nApply int) gpu.Kernel {
 	proj := projectorsPerIon * float64(nions)
 	work := 8 * proj * float64(bands) * nlRealPoints * float64(nApply)
-	fill := sat(float64(bands), bandsHalfSat)
 	return coarse(gpu.Kernel{
-		Name:       label,
-		Flops:      work,
-		Bytes:      work / 4,
-		ComputeOcc: floorOcc(0.5 * sat(work, 5e9)),
-		MemOcc:     floorOcc(0.45 * fill),
-		SMActivity: 0.5 * fill,
-		Latency:    float64(nApply) * launchLatency * 2,
+		Name:     label,
+		Class:    gpu.ClassNonlocal,
+		Flops:    work,
+		Bytes:    work / 4,
+		Axes:     [3]float64{work, float64(bands)},
+		Launches: float64(nApply),
 	})
 }
 
@@ -232,13 +187,12 @@ func nonlocalKernel(label string, nions, bands, nApply int) gpu.Kernel {
 func vdwKernel(nions int) gpu.Kernel {
 	fi := float64(nions)
 	return coarse(gpu.Kernel{
-		Name:       "vdw-dispersion",
-		Flops:      600 * fi * fi,
-		Bytes:      64 * fi * fi,
-		ComputeOcc: floorOcc(0.25 * sat(600*fi*fi, 1e9)),
-		MemOcc:     0.3,
-		SMActivity: 0.12,
-		Latency:    40 * launchLatency,
+		Name:     "vdw-dispersion",
+		Class:    gpu.ClassVdW,
+		Flops:    600 * fi * fi,
+		Bytes:    64 * fi * fi,
+		Axes:     [3]float64{600 * fi * fi},
+		Launches: 40,
 	})
 }
 

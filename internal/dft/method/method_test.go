@@ -113,7 +113,7 @@ func TestHSEContainsExchangeSteps(t *testing.T) {
 }
 
 func TestHSEHeavierThanDFT(t *testing.T) {
-	g := gpu.New(gpu.A100SXM40GB(), 0, nil, gpu.DefaultVariability())
+	g := gpu.New(gpu.A100SXM40GB(), nil, 0, nil, gpu.DefaultVariability())
 	dft, _ := Build(testConfig(DFTCG))
 	hse, _ := Build(testConfig(HSE))
 	if hse.GPUSeconds(g) < 5*dft.GPUSeconds(g) {
@@ -232,12 +232,19 @@ func TestKernelBuildersScale(t *testing.T) {
 	if big.Flops <= small.Flops || big.Bytes <= small.Bytes {
 		t.Fatal("FFT kernel does not scale with grid")
 	}
-	g1 := gemmKernel("g1", 100, 100, 100)
-	g2 := gemmKernel("g2", 1000, 1000, 1000)
-	if g2.ComputeOcc <= g1.ComputeOcc {
+	model := gpu.DefaultEfficiency()
+	p1, err := model.Resolve(gemmKernel("g1", 100, 100, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := model.Resolve(gemmKernel("g2", 1000, 1000, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.ComputeOcc <= p1.ComputeOcc {
 		t.Fatal("GEMM occupancy does not grow with size")
 	}
-	if g2.ComputeOcc > gemmOccCap {
+	if p2.ComputeOcc > model.Classes[gpu.ClassGEMM].Compute.Cap {
 		t.Fatal("GEMM occupancy exceeds cap")
 	}
 }

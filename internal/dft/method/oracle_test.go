@@ -1,0 +1,131 @@
+package method
+
+import "vasppower/internal/hw/gpu"
+
+// Retained reference resolution: the efficiency constants that lived
+// inline in the kernel builders before the platform-owned table
+// existed, preserved verbatim (values, evaluation order, floor sites)
+// as an oracle for the differential tests. The production path never
+// touches these — they exist so `go test` proves the default
+// perlmutter-a100 table reproduces the calibrated pre-refactor
+// resolution bit-for-bit on every schedule the model can emit.
+const (
+	legacyFFTCompOccCap    = 0.60
+	legacyFFTMemOccCap     = 0.85
+	legacyFFTSMACap        = 0.92
+	legacyFFTPointsHalfSat = 2.5e6
+	legacyBandsHalfSat     = 240.0
+	legacyOccFloor         = 0.05
+
+	legacyExchSMACap        = 0.76
+	legacyExchMemOccCap     = 0.55
+	legacyExchCompOccCap    = 0.60
+	legacyExchPointsHalfSat = 3.7e8
+
+	legacyGemmOccCap = 0.96
+	legacyGemmM0     = 300.0
+	legacyGemmN0     = 12.0
+	legacyGemmK0     = 24.0
+
+	legacyEigOccCap  = 0.45
+	legacyEigHalfSat = 6e10
+	legacyEigSMA     = 0.15
+
+	legacyLaunchLatency = 6e-6
+)
+
+// legacySat is the saturating efficiency curve work/(work+half).
+func legacySat(work, half float64) float64 {
+	if work <= 0 {
+		return 0
+	}
+	return work / (work + half)
+}
+
+// legacyFloorOcc clamps an occupancy to [legacyOccFloor, 1].
+func legacyFloorOcc(x float64) float64 {
+	if x < legacyOccFloor {
+		return legacyOccFloor
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// legacyResolve maps a work descriptor to an execution profile using
+// the pre-table constants, reproducing the original builders'
+// arithmetic exactly: the same saturation inputs (the descriptor's
+// Axes carry what the builders fed to sat), the same multiplication
+// order, floorOcc applied only where the builders applied it, and the
+// same latency chain (launches × 6 µs × per-class factor × the
+// schedule coarse-graining). Returns false for classes the old
+// builders never emitted.
+func legacyResolve(k gpu.Kernel) (gpu.ExecProfile, bool) {
+	lat := k.Launches * legacyLaunchLatency
+	scale := func(factor float64) float64 {
+		l := lat
+		if factor != 0 {
+			l *= factor
+		}
+		if k.LatencyScale != 0 {
+			l *= k.LatencyScale
+		}
+		return l
+	}
+	switch k.Class {
+	case gpu.ClassFFT:
+		fill := legacySat(k.Axes[0], legacyFFTPointsHalfSat) * legacySat(k.Axes[1], legacyBandsHalfSat)
+		return gpu.ExecProfile{
+			ComputeOcc: legacyFloorOcc(legacyFFTCompOccCap * fill),
+			MemOcc:     legacyFloorOcc(legacyFFTMemOccCap * fill),
+			SMActivity: legacyFFTSMACap * fill,
+			Latency:    scale(0),
+			PowerScale: 1,
+		}, true
+	case gpu.ClassExchangeFFT:
+		fill := legacySat(k.Axes[0], legacyExchPointsHalfSat)
+		return gpu.ExecProfile{
+			ComputeOcc: legacyFloorOcc(legacyExchCompOccCap * fill),
+			MemOcc:     legacyFloorOcc(legacyExchMemOccCap * fill),
+			SMActivity: legacyExchSMACap * fill,
+			Latency:    scale(0),
+			PowerScale: 1,
+		}, true
+	case gpu.ClassGEMM:
+		occ := legacyGemmOccCap * legacySat(k.Axes[0], legacyGemmM0) *
+			legacySat(k.Axes[1], legacyGemmN0) * legacySat(k.Axes[2], legacyGemmK0)
+		return gpu.ExecProfile{
+			ComputeOcc: legacyFloorOcc(occ),
+			MemOcc:     0.70,
+			Latency:    scale(0),
+			PowerScale: 1,
+		}, true
+	case gpu.ClassEig:
+		return gpu.ExecProfile{
+			ComputeOcc: legacyFloorOcc(legacyEigOccCap * legacySat(k.Axes[0], legacyEigHalfSat)),
+			MemOcc:     0.5,
+			SMActivity: legacyEigSMA,
+			Latency:    scale(4),
+			PowerScale: 1,
+		}, true
+	case gpu.ClassNonlocal:
+		fill := legacySat(k.Axes[1], legacyBandsHalfSat)
+		return gpu.ExecProfile{
+			ComputeOcc: legacyFloorOcc(0.5 * legacySat(k.Axes[0], 5e9)),
+			MemOcc:     legacyFloorOcc(0.45 * fill),
+			SMActivity: 0.5 * fill,
+			Latency:    scale(2),
+			PowerScale: 1,
+		}, true
+	case gpu.ClassVdW:
+		return gpu.ExecProfile{
+			ComputeOcc: legacyFloorOcc(0.25 * legacySat(k.Axes[0], 1e9)),
+			MemOcc:     0.3,
+			SMActivity: 0.12,
+			Latency:    scale(0),
+			PowerScale: 1,
+		}, true
+	}
+	return gpu.ExecProfile{}, false
+}

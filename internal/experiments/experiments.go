@@ -170,17 +170,23 @@ func DisableDiskCache() {
 // measureKey builds the cache key for one measurement. It includes
 // the size parameters so same-named variants (e.g. a synthetic
 // Si128_acfdtr next to the Table I one) never collide, the platform
-// name so two platforms never share a profile, and renders every
-// float at full precision — %.0f would alias ENCUT 410.4 with 410 and
-// cap 149.6 with 150.
-func measureKey(p platform.Platform, b workloads.Benchmark, nodes, repeats int, capW float64, seed uint64) string {
+// name AND its efficiency-table hash so two platforms — or the same
+// platform with an edited table — never share a profile, the operand
+// entropy (which shifts sustained power), and renders every float at
+// full precision — %.0f would alias ENCUT 410.4 with 410 and cap
+// 149.6 with 150.
+func measureKey(p platform.Platform, b workloads.Benchmark, nodes, repeats int, capW float64, seed uint64, entropy float64) string {
 	f := func(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
+	tableHash := ""
+	if p.Efficiency != nil {
+		tableHash = p.Efficiency.Hash()
+	}
 	return strings.Join([]string{
-		p.Name, b.Name,
+		p.Name, tableHash, b.Name,
 		strconv.Itoa(b.NPLWV()), strconv.Itoa(b.NBands), strconv.Itoa(b.NBandsExact),
 		strconv.Itoa(b.NELM), f(b.ENCUT),
 		strconv.Itoa(nodes), f(capW), strconv.Itoa(repeats),
-		strconv.FormatUint(seed, 10),
+		strconv.FormatUint(seed, 10), f(entropy),
 	}, "|")
 }
 
@@ -232,7 +238,7 @@ func CachedMeasureSpec(spec core.MeasureSpec) (core.JobProfile, error) {
 	if spec.Repeats <= 0 {
 		spec.Repeats = 1
 	}
-	key := measureKey(spec.Platform, spec.Bench, spec.Nodes, spec.Repeats, spec.CapW, spec.Seed)
+	key := measureKey(spec.Platform, spec.Bench, spec.Nodes, spec.Repeats, spec.CapW, spec.Seed, spec.Entropy)
 	jp, _, err := cachedDo(key, spec)
 	return jp, err
 }
@@ -254,7 +260,7 @@ func cachedDo(key string, spec core.MeasureSpec) (core.JobProfile, bool, error) 
 // and whether the cache — either tier — served it without computing.
 func measure(cfg Config, b workloads.Benchmark, nodes, repeats int, capW float64) (core.JobProfile, error) {
 	p := cfg.platform()
-	key := measureKey(p, b, nodes, repeats, capW, cfg.seed())
+	key := measureKey(p, b, nodes, repeats, capW, cfg.seed(), 0)
 	sp := cfg.Obs.Span("measure")
 	jp, computed, err := cachedDo(key, core.MeasureSpec{
 		Bench: b, Platform: p, Nodes: nodes, Repeats: repeats,

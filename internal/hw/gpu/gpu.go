@@ -6,8 +6,12 @@
 //
 // # Model
 //
-// A kernel is {Flops, Bytes, ComputeOcc, MemOcc, SMActivity, Latency}.
-// At SM clock fraction c ∈ [MinClockFrac, 1]:
+// A Kernel is a pure work descriptor: {Class, Flops, Bytes, Axes,
+// Launches, Entropy}. How that work lands on the hardware — achieved
+// compute/bandwidth fractions, SM activity, launch latency — is owned
+// by the device's EfficiencyModel (see efficiency.go), which resolves
+// the descriptor into an ExecProfile {ComputeOcc, MemOcc, SMActivity,
+// Latency, PowerScale}. At SM clock fraction c ∈ [MinClockFrac, 1]:
 //
 //	F(c) = PeakFlops · c       — SM throughput scales with clock
 //	B    = PeakMemBW           — HBM clock is not governed by the cap
@@ -20,7 +24,9 @@
 //	     + MemPowerFull  · (byteRate/PeakMemBW) · eff
 //
 // where duty = (t − Latency)/t quiets the SMs during the fixed-latency
-// portion of the kernel (launch gaps, serial chains).
+// portion of the kernel (launch gaps, serial chains), and eff folds the
+// profile's operand-entropy PowerScale into the device's dynamic
+// efficiency — same kernel, different data, different watts.
 //
 // SMActivity is how busy the SMs are while the kernel runs (issue-slot
 // occupancy) — a bandwidth-bound FFT with full thread occupancy keeps
@@ -123,44 +129,78 @@ func DefaultVariability() Variability {
 	return Variability{IdleSigma: 0.03, EffSigma: 0.02}
 }
 
-// Kernel describes one GPU kernel launch (or a fused batch of
-// identical launches) for the roofline model.
+// Kernel is a pure work descriptor for one GPU kernel launch (or a
+// fused batch of identical launches). It states what the kernel does
+// — never how well the hardware runs it; that resolution belongs to
+// the platform's EfficiencyModel.
 type Kernel struct {
 	Name string
+	// Class selects the efficiency responses in the platform table.
+	Class KernelClass
 	// Flops is the total floating-point work, in flop.
 	Flops float64
 	// Bytes is the total DRAM traffic, in bytes.
 	Bytes float64
-	// ComputeOcc ∈ (0,1] is the fraction of peak flop throughput the
-	// kernel can achieve at full clock (occupancy × pipe efficiency).
-	ComputeOcc float64
-	// MemOcc ∈ (0,1] is the fraction of peak bandwidth achievable.
-	MemOcc float64
-	// SMActivity ∈ [0,1] is the SM issue-slot busyness while the
-	// kernel runs; it drives SM power independently of the flop rate.
-	// Zero means "derive from ComputeOcc".
-	SMActivity float64
-	// Latency is fixed time not overlapped with the roofline terms:
-	// launch overhead, serial dependency chains, host round-trips.
-	// Latency-dominated kernels draw little power and barely respond
-	// to clock changes — the mechanism behind small workloads'
-	// insensitivity to even a 100 W cap (GaAsBi-64, PdO2 in Fig. 12).
-	Latency float64
+	// Axes are the class-specific size axes the efficiency responses
+	// saturate over (e.g. points in flight and resident bands for an
+	// FFT batch; m, n, k for a GEMM). Unused axes stay zero.
+	Axes [3]float64
+	// Launches is the number of kernel launches the batch decomposes
+	// into; fixed launch latency scales with it. Zero means the launch
+	// cost is negligible (amortized microbenchmark loops).
+	Launches float64
+	// LatencyScale multiplies the resolved launch latency (0 = 1) —
+	// the schedule coarse-graining factor applies here, since it
+	// replays the whole launch sequence.
+	LatencyScale float64
+	// Entropy is the operand entropy of the kernel's data stream in
+	// [0,1] (fraction of switching bits). Zero means "unspecified":
+	// the platform's reference calibration data.
+	Entropy float64
 }
 
-// Validate checks kernel parameters.
+// Validate checks that the descriptor is physical: finite,
+// non-negative, classed, and non-empty. Non-finite work would
+// silently poison the cap-solver bisection, so NaN/±Inf are rejected
+// explicitly.
 func (k Kernel) Validate() error {
+	if err := k.checkField("Flops", k.Flops); err != nil {
+		return err
+	}
+	if err := k.checkField("Bytes", k.Bytes); err != nil {
+		return err
+	}
+	if err := k.checkField("Launches", k.Launches); err != nil {
+		return err
+	}
+	if err := k.checkField("LatencyScale", k.LatencyScale); err != nil {
+		return err
+	}
+	if err := k.checkField("Entropy", k.Entropy); err != nil {
+		return err
+	}
+	for i, a := range k.Axes {
+		if nonfinite(a) || a < 0 {
+			return fmt.Errorf("gpu: kernel %q Axes[%d] = %v", k.Name, i, a)
+		}
+	}
 	switch {
-	case k.Flops < 0 || k.Bytes < 0 || k.Latency < 0:
-		return fmt.Errorf("gpu: kernel %q has negative work", k.Name)
-	case k.Flops > 0 && (k.ComputeOcc <= 0 || k.ComputeOcc > 1):
-		return fmt.Errorf("gpu: kernel %q ComputeOcc %v out of (0,1]", k.Name, k.ComputeOcc)
-	case k.SMActivity < 0 || k.SMActivity > 1:
-		return fmt.Errorf("gpu: kernel %q SMActivity %v out of [0,1]", k.Name, k.SMActivity)
-	case k.Bytes > 0 && (k.MemOcc <= 0 || k.MemOcc > 1):
-		return fmt.Errorf("gpu: kernel %q MemOcc %v out of (0,1]", k.Name, k.MemOcc)
-	case k.Flops == 0 && k.Bytes == 0 && k.Latency == 0:
+	case k.Entropy > 1:
+		return fmt.Errorf("gpu: kernel %q Entropy %v out of [0,1]", k.Name, k.Entropy)
+	case k.Class == "":
+		return fmt.Errorf("gpu: kernel %q has no class", k.Name)
+	case k.Flops == 0 && k.Bytes == 0 && k.Launches == 0:
 		return fmt.Errorf("gpu: kernel %q is empty", k.Name)
+	}
+	return nil
+}
+
+func (k Kernel) checkField(field string, v float64) error {
+	if nonfinite(v) {
+		return fmt.Errorf("gpu: kernel %q %s is not finite (%v)", k.Name, field, v)
+	}
+	if v < 0 {
+		return fmt.Errorf("gpu: kernel %q %s is negative (%v)", k.Name, field, v)
 	}
 	return nil
 }
@@ -181,17 +221,26 @@ type Execution struct {
 type GPU struct {
 	Spec       Spec
 	Index      int // position within the node (0..3)
+	model      *EfficiencyModel
 	powerLimit float64
 	clockLimit float64 // max clock fraction (DVFS, nvidia-smi -lgc)
 	idleScale  float64 // multiplies idle + static power
 	effScale   float64 // multiplies dynamic power
 }
 
-// New creates a device with variability drawn from r using the given
-// spread parameters. Pass nil for r for a nominal (no-variability)
-// device.
-func New(spec Spec, index int, r *rng.Stream, v Variability) *GPU {
-	g := &GPU{Spec: spec, Index: index, powerLimit: spec.TDP, clockLimit: 1, idleScale: 1, effScale: 1}
+// defaultModel is the shared fallback table for devices constructed
+// without one (tests, standalone tools). Treated as immutable.
+var defaultModel = DefaultEfficiency()
+
+// New creates a device resolving kernels through the given efficiency
+// table (nil = the calibrated default), with variability drawn from r
+// using the given spread parameters. Pass nil for r for a nominal
+// (no-variability) device.
+func New(spec Spec, model *EfficiencyModel, index int, r *rng.Stream, v Variability) *GPU {
+	if model == nil {
+		model = defaultModel
+	}
+	g := &GPU{Spec: spec, Index: index, model: model, powerLimit: spec.TDP, clockLimit: 1, idleScale: 1, effScale: 1}
 	if r != nil {
 		// Static and dynamic spreads, clamped to stay physical.
 		g.idleScale = clamp(r.Normal(1, v.IdleSigma), 0.9, 1.1)
@@ -209,6 +258,14 @@ func clamp(x, lo, hi float64) float64 {
 	}
 	return x
 }
+
+// Model returns the efficiency table this device resolves kernels
+// through.
+func (g *GPU) Model() *EfficiencyModel { return g.model }
+
+// Resolve maps a work descriptor to its execution profile under the
+// device's efficiency table.
+func (g *GPU) Resolve(k Kernel) (ExecProfile, error) { return g.model.Resolve(k) }
 
 // PowerLimit returns the current power cap in watts.
 func (g *GPU) PowerLimit() float64 { return g.powerLimit }
@@ -250,32 +307,33 @@ func (g *GPU) ResetClockLimit() { g.clockLimit = 1 }
 // IdlePower returns the device's idle draw (with variability).
 func (g *GPU) IdlePower() float64 { return g.Spec.IdleWatts * g.idleScale }
 
-// timeAt returns the kernel duration at clock fraction c. Memory
-// bandwidth is clock-independent: the power cap governs SM clocks
-// only, as on real A100s.
-func (g *GPU) timeAt(k Kernel, c float64) float64 {
-	t := k.Latency
+// timeAt returns the kernel duration at clock fraction c under the
+// resolved profile. Memory bandwidth is clock-independent: the power
+// cap governs SM clocks only, as on real A100s.
+func (g *GPU) timeAt(k Kernel, p ExecProfile, c float64) float64 {
+	t := p.Latency
 	var tc, tm float64
 	if k.Flops > 0 {
-		tc = k.Flops / (k.ComputeOcc * g.Spec.PeakFlops * c)
+		tc = k.Flops / (p.ComputeOcc * g.Spec.PeakFlops * c)
 	}
 	if k.Bytes > 0 {
-		tm = k.Bytes / (k.MemOcc * g.Spec.PeakMemBW)
+		tm = k.Bytes / (p.MemOcc * g.Spec.PeakMemBW)
 	}
 	return t + math.Max(tc, tm)
 }
 
-// smActivity resolves the kernel's SM busyness.
-func smActivity(k Kernel) float64 {
-	if k.SMActivity > 0 {
-		return k.SMActivity
+// smActivity resolves the profile's SM busyness.
+func smActivity(p ExecProfile) float64 {
+	if p.SMActivity > 0 {
+		return p.SMActivity
 	}
-	return k.ComputeOcc
+	return p.ComputeOcc
 }
 
-// powerAt returns sustained board power while running k at clock c.
-func (g *GPU) powerAt(k Kernel, c float64) float64 {
-	t := g.timeAt(k, c)
+// powerAt returns sustained board power while running k at clock c
+// under the resolved profile.
+func (g *GPU) powerAt(k Kernel, p ExecProfile, c float64) float64 {
+	t := g.timeAt(k, p, c)
 	if t <= 0 {
 		return g.IdlePower()
 	}
@@ -286,47 +344,62 @@ func (g *GPU) powerAt(k Kernel, c float64) float64 {
 	// During the fixed-latency portion (launch gaps, serial chains)
 	// the SMs are quiet: duty-cycle the SM term.
 	active := 1.0
-	if k.Latency > 0 && t > 0 {
-		active = (t - k.Latency) / t
+	if p.Latency > 0 && t > 0 {
+		active = (t - p.Latency) / t
 		if active < 0 {
 			active = 0
 		}
 	}
-	p := sp.IdleWatts*g.idleScale + sp.ActiveBase*g.idleScale +
-		g.effScale*(sp.CompPowerFull*smActivity(k)*active*clockFactor+
+	// The operand-entropy factor scales dynamic power only: static
+	// draw does not depend on what the wires carry.
+	eff := g.effScale
+	if p.PowerScale != 0 {
+		eff *= p.PowerScale
+	}
+	pw := sp.IdleWatts*g.idleScale + sp.ActiveBase*g.idleScale +
+		eff*(sp.CompPowerFull*smActivity(p)*active*clockFactor+
 			sp.MemPowerFull*(byteRate/sp.PeakMemBW))
-	return p
+	return pw
 }
 
 // Run executes the kernel under the current power limit and returns
-// the resulting duration and sustained power. The cap solver bisects
-// for the highest clock whose power fits the cap; if even the minimum
-// clock exceeds the cap, the kernel runs at minimum clock and the
-// returned power overshoots the cap (the 100 W floor behavior).
+// the resulting duration and sustained power. The descriptor is first
+// resolved through the device's efficiency table; the cap solver then
+// bisects for the highest clock whose power fits the cap. If even the
+// minimum clock exceeds the cap, the kernel runs at minimum clock and
+// the returned power overshoots the cap (the 100 W floor behavior).
 func (g *GPU) Run(k Kernel) Execution {
 	if err := k.Validate(); err != nil {
 		panic(err)
 	}
+	p, err := g.model.Resolve(k)
+	if err != nil {
+		panic(err)
+	}
+	return g.runResolved(k, p)
+}
+
+func (g *GPU) runResolved(k Kernel, p ExecProfile) Execution {
 	cap := g.effectiveCap()
 	cMin := g.Spec.MinClockFrac
 	cMax := g.clockLimit // DVFS ceiling (1 when unlocked)
-	if p := g.powerAt(k, cMax); p <= cap {
-		return Execution{Duration: g.timeAt(k, cMax), Power: p, ClockFrac: cMax, Capped: cMax < 1}
+	if pw := g.powerAt(k, p, cMax); pw <= cap {
+		return Execution{Duration: g.timeAt(k, p, cMax), Power: pw, ClockFrac: cMax, Capped: cMax < 1}
 	}
-	if p := g.powerAt(k, cMin); p > cap {
+	if pw := g.powerAt(k, p, cMin); pw > cap {
 		// Cap unachievable: run at the floor, overshooting.
-		return Execution{Duration: g.timeAt(k, cMin), Power: p, ClockFrac: cMin, Capped: true}
+		return Execution{Duration: g.timeAt(k, p, cMin), Power: pw, ClockFrac: cMin, Capped: true}
 	}
 	lo, hi := cMin, cMax
 	for i := 0; i < 48; i++ {
 		mid := (lo + hi) / 2
-		if g.powerAt(k, mid) <= cap {
+		if g.powerAt(k, p, mid) <= cap {
 			lo = mid
 		} else {
 			hi = mid
 		}
 	}
-	return Execution{Duration: g.timeAt(k, lo), Power: g.powerAt(k, lo), ClockFrac: lo, Capped: true}
+	return Execution{Duration: g.timeAt(k, p, lo), Power: g.powerAt(k, p, lo), ClockFrac: lo, Capped: true}
 }
 
 // lowCapThreshold is the cap below which the board's power-management
@@ -352,7 +425,19 @@ func (g *GPU) effectiveCap() float64 {
 
 // UncappedPower returns the power the kernel would draw at full clock,
 // regardless of the current limit. Useful for calibration and tests.
-func (g *GPU) UncappedPower(k Kernel) float64 { return g.powerAt(k, 1) }
+func (g *GPU) UncappedPower(k Kernel) float64 {
+	p, err := g.model.Resolve(k)
+	if err != nil {
+		panic(err)
+	}
+	return g.powerAt(k, p, 1)
+}
 
 // UncappedDuration returns the kernel duration at full clock.
-func (g *GPU) UncappedDuration(k Kernel) float64 { return g.timeAt(k, 1) }
+func (g *GPU) UncappedDuration(k Kernel) float64 {
+	p, err := g.model.Resolve(k)
+	if err != nil {
+		panic(err)
+	}
+	return g.timeAt(k, p, 1)
+}

@@ -7,36 +7,64 @@ import (
 	"vasppower/internal/rng"
 )
 
-// dgemmKernel is a near-peak compute-bound kernel (large matrix
-// multiply), the classic burn-in test the paper runs before VASP.
+// dgemmKernel is a near-peak compute-bound work descriptor (large
+// matrix multiply), the classic burn-in test the paper runs before
+// VASP. The default table resolves dgemm-peak at 0.95/0.85.
 func dgemmKernel() Kernel {
 	n := 8192.0
 	return Kernel{
-		Name:       "dgemm",
-		Flops:      2 * n * n * n,
-		Bytes:      3 * n * n * 8,
-		ComputeOcc: 0.95,
-		MemOcc:     0.85,
+		Name:  "dgemm",
+		Class: ClassDGEMMPeak,
+		Flops: 2 * n * n * n,
+		Bytes: 3 * n * n * 8,
 	}
 }
 
-// streamKernel is a pure bandwidth-bound kernel (triad).
+// streamKernel is a pure bandwidth-bound descriptor (triad). At 24
+// bytes and 2 flops per element the arithmetic intensity is 1/12
+// flop/byte — deeply memory-bound; the table's stream-triad response
+// keeps the SMs at 0.30 activity (mostly waiting on HBM).
 func streamKernel() Kernel {
 	n := 4e8 // elements
 	return Kernel{
 		Name:  "stream",
+		Class: ClassStreamTriad,
 		Flops: 2 * n,
 		Bytes: 3 * n * 8,
-		// At 24 bytes and 2 flops per element the arithmetic intensity
-		// is 1/12 flop/byte — deeply memory-bound; SMs spend most
-		// issue slots waiting on HBM.
-		ComputeOcc: 0.9,
-		MemOcc:     0.92,
-		SMActivity: 0.30,
 	}
 }
 
-func nominal() *GPU { return New(A100SXM40GB(), 0, nil, DefaultVariability()) }
+func nominal() *GPU { return New(A100SXM40GB(), nil, 0, nil, DefaultVariability()) }
+
+// resolve is a test helper: profile or t.Fatal.
+func resolve(t *testing.T, g *GPU, k Kernel) ExecProfile {
+	t.Helper()
+	p, err := g.Resolve(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// allClasses lists every class of the default table, for property
+// tests that draw random descriptors.
+var allClasses = []KernelClass{
+	ClassFFT, ClassExchangeFFT, ClassGEMM, ClassEig, ClassNonlocal,
+	ClassVdW, ClassDGEMMPeak, ClassStreamTriad, ClassStencil, ClassSU3Force,
+}
+
+// randomKernel draws a random but valid work descriptor.
+func randomKernel(r *rng.Stream) Kernel {
+	return Kernel{
+		Name:     "rand",
+		Class:    allClasses[int(r.Uint64()%uint64(len(allClasses)))],
+		Flops:    r.Float64() * 1e13,
+		Bytes:    r.Float64() * 1e11,
+		Axes:     [3]float64{r.Float64() * 1e7, r.Float64() * 500, r.Float64() * 100},
+		Launches: math.Floor(r.Float64() * 1000),
+		Entropy:  r.Float64(),
+	}
+}
 
 func TestDGEMMNearTDP(t *testing.T) {
 	g := nominal()
@@ -152,15 +180,16 @@ func TestHundredWattFloorOvershoot(t *testing.T) {
 
 func TestLatencyBoundKernelCapInsensitive(t *testing.T) {
 	// A tiny kernel dominated by launch latency: low power and almost
-	// no response to a deep cap (the GaAsBi-64 mechanism).
+	// no response to a deep cap (the GaAsBi-64 mechanism). The launch
+	// count puts ~100 µs of fixed latency against ~50 ns of work.
 	g := nominal()
 	k := Kernel{
-		Name:       "tiny-fft",
-		Flops:      5e7,
-		Bytes:      4e6,
-		ComputeOcc: 0.2,
-		MemOcc:     0.3,
-		Latency:    100e-6,
+		Name:     "tiny-vdw",
+		Class:    ClassVdW,
+		Flops:    5e7,
+		Bytes:    4e6,
+		Axes:     [3]float64{5e7},
+		Launches: 100.0 / 6.0,
 	}
 	base := g.Run(k)
 	if base.Power > 150 {
@@ -174,51 +203,68 @@ func TestLatencyBoundKernelCapInsensitive(t *testing.T) {
 	}
 }
 
+// Property: resolved-kernel power is monotone non-decreasing in clock
+// fraction, for the classic kernels and for random descriptors across
+// every class of the default table.
 func TestPowerMonotoneInClock(t *testing.T) {
 	g := nominal()
-	for _, k := range []Kernel{dgemmKernel(), streamKernel()} {
+	kernels := []Kernel{dgemmKernel(), streamKernel()}
+	r := rng.New(71)
+	for i := 0; i < 60; i++ {
+		kernels = append(kernels, randomKernel(r))
+	}
+	for _, k := range kernels {
+		if k.Flops == 0 && k.Bytes == 0 && k.Launches == 0 {
+			continue
+		}
+		p := resolve(t, g, k)
 		prev := -1.0
 		for c := g.Spec.MinClockFrac; c <= 1.0; c += 0.01 {
-			p := g.powerAt(k, c)
-			if p < prev-1e-9 {
-				t.Fatalf("power not monotone in clock for %s at c=%v", k.Name, c)
+			pw := g.powerAt(k, p, c)
+			if pw < prev-1e-9 {
+				t.Fatalf("power not monotone in clock for %s (%s) at c=%v", k.Name, k.Class, c)
 			}
-			prev = p
+			prev = pw
 		}
 	}
 }
 
+// Property: duration is non-increasing in clock fraction.
 func TestDurationMonotoneInClock(t *testing.T) {
 	g := nominal()
-	for _, k := range []Kernel{dgemmKernel(), streamKernel()} {
+	kernels := []Kernel{dgemmKernel(), streamKernel()}
+	r := rng.New(72)
+	for i := 0; i < 60; i++ {
+		kernels = append(kernels, randomKernel(r))
+	}
+	for _, k := range kernels {
+		if k.Flops == 0 && k.Bytes == 0 && k.Launches == 0 {
+			continue
+		}
+		p := resolve(t, g, k)
 		prev := math.Inf(1)
 		for c := g.Spec.MinClockFrac; c <= 1.0; c += 0.01 {
-			d := g.timeAt(k, c)
+			d := g.timeAt(k, p, c)
 			if d > prev+1e-12 {
-				t.Fatalf("duration not non-increasing in clock for %s", k.Name)
+				t.Fatalf("duration not non-increasing in clock for %s (%s)", k.Name, k.Class)
 			}
 			prev = d
 		}
 	}
 }
 
-// Property: for random kernels and caps, Run never exceeds the cap
-// unless it settled at minimum clock, and duration never beats the
-// uncapped duration.
+// Property: for random descriptors and caps, Run never exceeds the
+// effective cap unless it settled at minimum clock — and above
+// lowCapThreshold the effective cap IS the nominal cap, so any cap
+// ≥ 150 W that Run satisfies away from the clock floor is satisfied
+// exactly. Duration never beats the uncapped duration.
 func TestRunCapInvariantProperty(t *testing.T) {
 	root := rng.New(2024)
 	for trial := 0; trial < 500; trial++ {
 		r := rng.New(root.Uint64())
-		g := New(A100SXM40GB(), 0, r.Split("gpu"), DefaultVariability())
-		k := Kernel{
-			Name:       "rand",
-			Flops:      r.Float64() * 1e13,
-			Bytes:      r.Float64() * 1e11,
-			ComputeOcc: 0.05 + 0.95*r.Float64(),
-			MemOcc:     0.05 + 0.95*r.Float64(),
-			Latency:    r.Float64() * 1e-3,
-		}
-		if k.Flops == 0 && k.Bytes == 0 && k.Latency == 0 {
+		g := New(A100SXM40GB(), nil, 0, r.Split("gpu"), DefaultVariability())
+		k := randomKernel(r.Split("kernel"))
+		if k.Flops == 0 && k.Bytes == 0 && k.Launches == 0 {
 			continue
 		}
 		base := g.Run(k)
@@ -231,8 +277,10 @@ func TestRunCapInvariantProperty(t *testing.T) {
 			t.Fatalf("trial %d: capped run faster than uncapped", trial)
 		}
 		effCap := cap
-		if cap < 150 {
-			effCap += 0.25 * (150 - cap) // control-loop slack at low caps
+		if thr := g.lowCapThreshold(); cap < thr {
+			effCap += 0.25 * (thr - cap) // control-loop slack at low caps
+		} else if effCap != cap {
+			t.Fatalf("trial %d: effective cap %v differs from nominal %v above lowCapThreshold", trial, effCap, cap)
 		}
 		if ex.Power > effCap+1e-6 && ex.ClockFrac > g.Spec.MinClockFrac+1e-9 {
 			t.Fatalf("trial %d: cap %v exceeded (%.2f W) above min clock", trial, cap, ex.Power)
@@ -246,7 +294,7 @@ func TestRunCapInvariantProperty(t *testing.T) {
 func TestVariabilityBounds(t *testing.T) {
 	root := rng.New(5)
 	for i := 0; i < 200; i++ {
-		g := New(A100SXM40GB(), i%4, root.Split("g"+string(rune('a'+i%26))+"x"), DefaultVariability())
+		g := New(A100SXM40GB(), nil, i%4, root.Split("g"+string(rune('a'+i%26))+"x"), DefaultVariability())
 		idle := g.IdlePower()
 		if idle < 52*0.9-1e-9 || idle > 52*1.1+1e-9 {
 			t.Fatalf("idle power %v outside variability clamp", idle)
@@ -255,27 +303,38 @@ func TestVariabilityBounds(t *testing.T) {
 }
 
 func TestVariabilityIsDeterministic(t *testing.T) {
-	a := New(A100SXM40GB(), 0, rng.New(9).Split("gpu0"), DefaultVariability())
-	b := New(A100SXM40GB(), 0, rng.New(9).Split("gpu0"), DefaultVariability())
+	a := New(A100SXM40GB(), nil, 0, rng.New(9).Split("gpu0"), DefaultVariability())
+	b := New(A100SXM40GB(), nil, 0, rng.New(9).Split("gpu0"), DefaultVariability())
 	if a.IdlePower() != b.IdlePower() {
 		t.Fatal("same seed produced different devices")
 	}
 }
 
 func TestKernelValidate(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
 	bad := []Kernel{
-		{Name: "neg", Flops: -1},
-		{Name: "occ", Flops: 1, ComputeOcc: 0},
-		{Name: "occ2", Flops: 1, ComputeOcc: 1.5},
-		{Name: "mem", Bytes: 1, MemOcc: -0.5},
-		{Name: "empty"},
+		{Name: "neg", Class: ClassGEMM, Flops: -1},
+		{Name: "nan-flops", Class: ClassGEMM, Flops: nan},
+		{Name: "inf-flops", Class: ClassGEMM, Flops: inf},
+		{Name: "nan-bytes", Class: ClassGEMM, Flops: 1, Bytes: nan},
+		{Name: "neg-inf-bytes", Class: ClassGEMM, Flops: 1, Bytes: math.Inf(-1)},
+		{Name: "nan-launches", Class: ClassGEMM, Flops: 1, Launches: nan},
+		{Name: "nan-axis", Class: ClassGEMM, Flops: 1, Axes: [3]float64{1, nan, 1}},
+		{Name: "inf-axis", Class: ClassGEMM, Flops: 1, Axes: [3]float64{inf}},
+		{Name: "neg-axis", Class: ClassGEMM, Flops: 1, Axes: [3]float64{-1}},
+		{Name: "nan-scale", Class: ClassGEMM, Flops: 1, LatencyScale: nan},
+		{Name: "nan-entropy", Class: ClassGEMM, Flops: 1, Entropy: nan},
+		{Name: "big-entropy", Class: ClassGEMM, Flops: 1, Entropy: 1.5},
+		{Name: "neg-entropy", Class: ClassGEMM, Flops: 1, Entropy: -0.1},
+		{Name: "classless", Flops: 1},
+		{Name: "empty", Class: ClassGEMM},
 	}
 	for _, k := range bad {
 		if err := k.Validate(); err == nil {
 			t.Fatalf("kernel %q should be invalid", k.Name)
 		}
 	}
-	good := Kernel{Name: "ok", Flops: 1, ComputeOcc: 0.5}
+	good := Kernel{Name: "ok", Class: ClassGEMM, Flops: 1, Axes: [3]float64{1, 1, 1}}
 	if err := good.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +346,16 @@ func TestRunPanicsOnInvalidKernel(t *testing.T) {
 			t.Fatal("invalid kernel did not panic")
 		}
 	}()
-	nominal().Run(Kernel{Name: "bad", Flops: 1, ComputeOcc: 2})
+	nominal().Run(Kernel{Name: "bad", Class: ClassGEMM, Flops: math.NaN()})
+}
+
+func TestRunPanicsOnUnknownClass(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown class did not panic")
+		}
+	}()
+	nominal().Run(Kernel{Name: "mystery", Class: "warp-drive", Flops: 1})
 }
 
 func TestMemoryBoundOvershootsDeepCap(t *testing.T) {
@@ -408,8 +476,8 @@ func TestA10080GBVariant(t *testing.T) {
 		t.Fatal("board power envelope should match")
 	}
 	// A bandwidth-bound kernel finishes faster on the 80 GB part.
-	g40 := New(s40, 0, nil, DefaultVariability())
-	g80 := New(s80, 0, nil, DefaultVariability())
+	g40 := New(s40, nil, 0, nil, DefaultVariability())
+	g80 := New(s80, nil, 0, nil, DefaultVariability())
 	k := streamKernel()
 	if g80.Run(k).Duration >= g40.Run(k).Duration {
 		t.Fatal("HBM2e should speed up STREAM")

@@ -89,7 +89,7 @@ func New(name string, p platform.Platform, r *rng.Stream) *Node {
 	}
 	n.CPU = cpu.New(p.CPU, cpuR, v.CPU)
 	for i := range n.GPUs {
-		n.GPUs[i] = gpu.New(p.GPU, i, gpuR[i], v.GPU)
+		n.GPUs[i] = gpu.New(p.GPU, p.Efficiency, i, gpuR[i], v.GPU)
 	}
 	return n
 }

@@ -65,7 +65,14 @@ type Platform struct {
 	// everything else is a shape-faithful extrapolation.
 	Calibrated bool
 
-	GPU         gpu.Spec
+	GPU gpu.Spec
+	// Efficiency is the platform's achieved-efficiency table: how work
+	// descriptors resolve into execution profiles on this machine's
+	// GPUs. Shared by pointer across the platform's devices and treated
+	// as immutable (edit a Clone); keeping the pointer here keeps
+	// Platform comparable. Its hash is part of every measurement cache
+	// key, so editing a table invalidates stale cached results.
+	Efficiency  *gpu.EfficiencyModel
 	CPU         cpu.Spec
 	Node        NodeSpec
 	GPUsPerNode int
@@ -94,6 +101,12 @@ func (p Platform) Validate() error {
 		return fmt.Errorf("platform %s: GPU power-limit range [%.0f, %.0f] invalid",
 			p.Name, p.GPU.MinPowerLimit, p.GPU.TDP)
 	}
+	if p.Efficiency == nil {
+		return fmt.Errorf("platform %s: no GPU efficiency table", p.Name)
+	}
+	if err := p.Efficiency.Validate(); err != nil {
+		return fmt.Errorf("platform %s: %w", p.Name, err)
+	}
 	return nil
 }
 
@@ -114,6 +127,7 @@ func PerlmutterA100() Platform {
 		Description: "Perlmutter GPU node: EPYC 7763 + 4x A100-SXM4-40GB, node TDP 2350 W (the paper's platform)",
 		Calibrated:  true,
 		GPU:         gpu.A100SXM40GB(),
+		Efficiency:  gpu.DefaultEfficiency(),
 		CPU:         cpu.EPYC7763(),
 		Node: NodeSpec{
 			TDP:             2350,
@@ -124,6 +138,19 @@ func PerlmutterA100() Platform {
 		GPUsPerNode: 4,
 		Variability: DefaultVariability(),
 	}
+}
+
+// extrapolatedEfficiency returns an uncalibrated platform's own copy
+// of the A100 response surface: same shape, separately named and
+// separately editable. Extrapolated platforms used to inherit the
+// A100 efficiency constants implicitly (they were baked into the
+// kernel builders); owning a table makes them something you can
+// actually calibrate — edit the Clone, and the table hash in the
+// measurement cache keys takes care of stale results.
+func extrapolatedEfficiency(name string) *gpu.EfficiencyModel {
+	m := gpu.DefaultEfficiency()
+	m.Name = name
+	return m
 }
 
 // A10080GB500W returns an extrapolated platform built around the
@@ -143,6 +170,7 @@ func A10080GB500W() Platform {
 		Name:        "a100-80gb-500w",
 		Description: "extrapolated HGX node: EPYC 7763 + 4x A100-SXM4-80GB at the 500 W envelope",
 		GPU:         g,
+		Efficiency:  extrapolatedEfficiency("a100-80gb-500w"),
 		CPU:         cpu.EPYC7763(),
 		Node: NodeSpec{
 			TDP:             2800, // 280 + 4x500 + DDR/peripheral margin
@@ -179,6 +207,7 @@ func H100SXM() Platform {
 			MemPowerFull:  145,
 			Gamma:         0.18, // Hopper idles higher on the DVFS curve
 		},
+		Efficiency: extrapolatedEfficiency("h100-sxm"),
 		CPU: cpu.Spec{
 			Name:      "EPYC-9454",
 			TDP:       290,

@@ -99,12 +99,10 @@ func milcSchedule(spec MILCSpec, d parallel.Decomposition) *method.Schedule {
 			add(method.Step{
 				Label: pfx + ".cg-dslash", Kind: method.StepGPU,
 				GPU: gpu.Kernel{
-					Name:       pfx + ".cg-dslash",
-					Flops:      cg * milcDslashFlopsPerSite * sitesPerRank,
-					Bytes:      cg * milcDslashBytesPerSite * sitesPerRank,
-					ComputeOcc: 0.60,
-					MemOcc:     0.75,
-					SMActivity: 0.42,
+					Name:  pfx + ".cg-dslash",
+					Class: gpu.ClassStencil,
+					Flops: cg * milcDslashFlopsPerSite * sitesPerRank,
+					Bytes: cg * milcDslashBytesPerSite * sitesPerRank,
 				},
 				MemActivity: 0.85, Phase: "cg",
 			})
@@ -113,12 +111,10 @@ func milcSchedule(spec MILCSpec, d parallel.Decomposition) *method.Schedule {
 			add(method.Step{
 				Label: pfx + ".force", Kind: method.StepGPU,
 				GPU: gpu.Kernel{
-					Name:       pfx + ".force",
-					Flops:      milcForceFlopsPerSite * sitesPerRank * 8,
-					Bytes:      milcForceBytesPerSite * sitesPerRank * 8,
-					ComputeOcc: 0.55,
-					MemOcc:     0.60,
-					SMActivity: 0.62,
+					Name:  pfx + ".force",
+					Class: gpu.ClassSU3Force,
+					Flops: milcForceFlopsPerSite * sitesPerRank * 8,
+					Bytes: milcForceBytesPerSite * sitesPerRank * 8,
 				},
 				MemActivity: 0.6, Phase: "force",
 			})
@@ -155,6 +151,9 @@ type MILCRunSpec struct {
 	Seed             uint64
 	// Workers bounds concurrent repeats, as in RunSpec.
 	Workers int
+	// OperandEntropy mirrors RunSpec.OperandEntropy: the operand
+	// entropy of the lattice data stream (0 = reference).
+	OperandEntropy float64
 }
 
 // RunMILC executes a MILC measurement run with the same protocol as
@@ -179,6 +178,9 @@ func RunMILC(spec MILCRunSpec) (RunOutput, error) {
 		return RunOutput{}, err
 	}
 	sched := milcSchedule(spec.Spec, d)
+	if err := stampEntropy(sched, spec.OperandEntropy); err != nil {
+		return RunOutput{}, err
+	}
 
 	root := rng.New(spec.Seed)
 	noises := make([]*rng.Stream, repeats)

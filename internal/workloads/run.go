@@ -43,6 +43,11 @@ type RunSpec struct {
 	// label-split of Seed and runs on its own identically-seeded node
 	// allocation, so results are independent of the worker count.
 	Workers int
+	// OperandEntropy ∈ [0,1] is the operand entropy of the job's data
+	// stream, stamped onto every GPU kernel of the schedule (0 = the
+	// platform's reference calibration data). Same work, different
+	// data, different watts — the entropy power axis.
+	OperandEntropy float64
 }
 
 // RunOutput is the result of a measurement run.
@@ -154,6 +159,9 @@ func Run(spec RunSpec) (RunOutput, error) {
 	if err != nil {
 		return RunOutput{}, err
 	}
+	if err := stampEntropy(sched, spec.OperandEntropy); err != nil {
+		return RunOutput{}, err
+	}
 
 	// Derive every repeat's noise stream up front, in index order, from
 	// the one root — execution order can then never influence a draw.
@@ -247,14 +255,14 @@ func runMicro(job solver.Job, sched *method.Schedule) error {
 
 // DGEMMSchedule builds the burn-in DGEMM phase for the given GPU: a
 // near-peak compute-bound kernel sized to run for about `seconds` at
-// full clock.
+// full clock. How close to peak it lands is the platform table's
+// dgemm-peak response, not a property of the schedule.
 func DGEMMSchedule(spec gpu.Spec, seconds float64) *method.Schedule {
 	k := gpu.Kernel{
-		Name:       "dgemm-burnin",
-		Flops:      seconds * 0.95 * spec.PeakFlops,
-		Bytes:      seconds * 0.10 * spec.PeakMemBW,
-		ComputeOcc: 0.95,
-		MemOcc:     0.85,
+		Name:  "dgemm-burnin",
+		Class: gpu.ClassDGEMMPeak,
+		Flops: seconds * 0.95 * spec.PeakFlops,
+		Bytes: seconds * 0.10 * spec.PeakMemBW,
 	}
 	return &method.Schedule{
 		Name: "dgemm",
@@ -269,12 +277,10 @@ func DGEMMSchedule(spec gpu.Spec, seconds float64) *method.Schedule {
 // full bandwidth.
 func StreamSchedule(spec gpu.Spec, seconds float64) *method.Schedule {
 	k := gpu.Kernel{
-		Name:       "stream-triad",
-		Flops:      seconds * 0.04 * spec.PeakFlops,
-		Bytes:      seconds * 0.92 * spec.PeakMemBW,
-		ComputeOcc: 0.9,
-		MemOcc:     0.92,
-		SMActivity: 0.30, // SMs mostly stalled on HBM
+		Name:  "stream-triad",
+		Class: gpu.ClassStreamTriad,
+		Flops: seconds * 0.04 * spec.PeakFlops,
+		Bytes: seconds * 0.92 * spec.PeakMemBW,
 	}
 	return &method.Schedule{
 		Name: "stream",
@@ -282,4 +288,25 @@ func StreamSchedule(spec gpu.Spec, seconds float64) *method.Schedule {
 			Label: "stream", Kind: method.StepGPU, GPU: k, MemActivity: 0.95, Phase: "stream",
 		}},
 	}
+}
+
+// stampEntropy writes the run's operand entropy into every GPU work
+// descriptor of the schedule. Entropy is a property of the data the
+// job streams through the kernels — the same schedule on low-entropy
+// inputs draws measurably less dynamic power (the platform table's
+// entropy response decides how much). Zero leaves the descriptors at
+// the reference calibration.
+func stampEntropy(sched *method.Schedule, entropy float64) error {
+	if entropy == 0 {
+		return nil
+	}
+	if entropy < 0 || entropy > 1 {
+		return fmt.Errorf("workloads: operand entropy %v out of [0,1]", entropy)
+	}
+	for i := range sched.Steps {
+		if sched.Steps[i].Kind == method.StepGPU {
+			sched.Steps[i].GPU.Entropy = entropy
+		}
+	}
+	return nil
 }

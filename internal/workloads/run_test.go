@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"vasppower/internal/dft/parallel"
 	"vasppower/internal/hw/gpu"
 )
 
@@ -129,15 +130,69 @@ func TestRunDeterministicAcrossCalls(t *testing.T) {
 }
 
 func TestMicroSchedules(t *testing.T) {
-	dg := DGEMMSchedule(gpu.A100SXM40GB(), 10)
+	spec := gpu.A100SXM40GB()
+	dg := DGEMMSchedule(spec, 10)
 	if len(dg.Steps) != 1 || dg.Steps[0].GPU.Flops <= 0 {
 		t.Fatal("DGEMM schedule malformed")
 	}
-	st := StreamSchedule(gpu.A100SXM40GB(), 10)
+	st := StreamSchedule(spec, 10)
 	if len(st.Steps) != 1 || st.Steps[0].GPU.Bytes <= 0 {
 		t.Fatal("STREAM schedule malformed")
 	}
-	if st.Steps[0].GPU.SMActivity >= dg.Steps[0].GPU.ComputeOcc {
+	g := gpu.New(spec, nil, 0, nil, gpu.DefaultVariability())
+	dp, err := g.Resolve(dg.Steps[0].GPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := g.Resolve(st.Steps[0].GPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.SMActivity >= dp.ComputeOcc {
 		t.Fatal("STREAM should run cooler than DGEMM")
+	}
+}
+
+// TestMicroAndMILCResolutionPinned pins the default table's resolution
+// of every workloads-emitted kernel class to the exact constants the
+// schedules carried inline before the efficiency refactor — the
+// workloads-side counterpart of dft/method's differential oracle.
+func TestMicroAndMILCResolutionPinned(t *testing.T) {
+	spec := gpu.A100SXM40GB()
+	model := gpu.DefaultEfficiency()
+	d, err := parallel.Decompose(DefaultMILC().Lattice[3], 1, 1, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := milcSchedule(DefaultMILC(), d)
+	var dslash, force gpu.Kernel
+	for _, s := range sched.Steps {
+		switch {
+		case s.Label == "tr00.md00.cg-dslash":
+			dslash = s.GPU
+		case s.Label == "tr00.md00.force":
+			force = s.GPU
+		}
+	}
+	cases := []struct {
+		k    gpu.Kernel
+		want gpu.ExecProfile
+	}{
+		{DGEMMSchedule(spec, 10).Steps[0].GPU, gpu.ExecProfile{ComputeOcc: 0.95, MemOcc: 0.85, PowerScale: 1}},
+		{StreamSchedule(spec, 10).Steps[0].GPU, gpu.ExecProfile{ComputeOcc: 0.9, MemOcc: 0.92, SMActivity: 0.30, PowerScale: 1}},
+		{dslash, gpu.ExecProfile{ComputeOcc: 0.60, MemOcc: 0.75, SMActivity: 0.42, PowerScale: 1}},
+		{force, gpu.ExecProfile{ComputeOcc: 0.55, MemOcc: 0.60, SMActivity: 0.62, PowerScale: 1}},
+	}
+	for _, c := range cases {
+		if c.k.Name == "" {
+			t.Fatal("pin case kernel not found in schedule")
+		}
+		got, err := model.Resolve(c.k)
+		if err != nil {
+			t.Fatalf("%s: %v", c.k.Name, err)
+		}
+		if got != c.want {
+			t.Fatalf("%s resolved %+v, want %+v", c.k.Name, got, c.want)
+		}
 	}
 }

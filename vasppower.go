@@ -26,6 +26,7 @@ package vasppower
 import (
 	"vasppower/internal/core"
 	"vasppower/internal/dft/method"
+	"vasppower/internal/hw/gpu"
 	"vasppower/internal/hw/platform"
 	"vasppower/internal/predict"
 	"vasppower/internal/sched"
@@ -123,6 +124,28 @@ func Measure(spec MeasureSpec) (JobProfile, error) { return core.Measure(spec) }
 func MeasureCapResponse(spec MeasureSpec, caps []float64) (CapResponse, error) {
 	return core.MeasureCapResponse(spec, caps)
 }
+
+// Efficiency tables: each platform owns an EfficiencyModel that maps
+// pure work descriptors (kernel class, flops, bytes, size axes,
+// operand entropy) to execution profiles — achieved compute/bandwidth
+// fractions, SM activity, launch latency, and an entropy-dependent
+// dynamic-power factor. The table is the platform's calibration
+// surface; MeasureSpec.Entropy stamps a run's kernels with an operand
+// entropy in [0,1] (0 = the table's reference data, identical power).
+type (
+	// EfficiencyModel is a platform's per-kernel-class efficiency
+	// table.
+	EfficiencyModel = gpu.EfficiencyModel
+	// KernelClass names one efficiency-table entry (e.g. "gemm",
+	// "fft").
+	KernelClass = gpu.KernelClass
+	// ExecProfile is a resolved kernel execution profile.
+	ExecProfile = gpu.ExecProfile
+)
+
+// DefaultEfficiency returns a copy of the calibrated perlmutter-a100
+// efficiency table (safe to edit and register on a custom Platform).
+func DefaultEfficiency() *EfficiencyModel { return gpu.DefaultEfficiency() }
 
 // Platforms lists the registered platform names in sorted order.
 func Platforms() []string { return platform.List() }
