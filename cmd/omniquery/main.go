@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"vasppower"
 	"vasppower/internal/experiments"
@@ -30,6 +31,8 @@ import (
 	"vasppower/internal/omni"
 	"vasppower/internal/report"
 	"vasppower/internal/stats"
+	"vasppower/internal/telemetry"
+	"vasppower/internal/telemetry/promexp"
 )
 
 func main() {
@@ -39,6 +42,10 @@ func main() {
 	seed := flag.Uint64("seed", 42, "random seed")
 	cacheDir := flag.String("cache-dir", "", "persistent measurement-cache directory (empty = in-memory only)")
 	cacheMaxBytes := flag.Int64("cache-max-bytes", 1<<30, "persistent cache size bound in bytes, LRU-evicted (0 = unbounded)")
+	telemetryAddr := flag.String("telemetry-addr", "",
+		"stream per-host per-domain power samples, pump them into the store as power.<domain> metrics, and serve Prometheus text at /metrics on this address")
+	telemetryHold := flag.Duration("telemetry-hold", 0,
+		"keep the /metrics endpoint serving this long after the queries complete")
 	version := flag.Bool("version", false, "print module version, VCS revision, and dirty flag, then exit")
 	flag.Parse()
 
@@ -59,6 +66,60 @@ func main() {
 		os.Exit(1)
 	}
 
+	store := omni.NewStore()
+
+	// 0. Streaming telemetry, when asked for: the run below publishes
+	// its traces into a hub; one subscriber pumps them into the store as
+	// power.<domain> metrics, another feeds the Prometheus exporter.
+	// Everything is set up before the run so no sample is missed.
+	var streamSub *telemetry.Subscription
+	pumpDone := make(chan struct{})
+	var pumped int
+	if *telemetryAddr != "" {
+		reg := obs.NewRegistry()
+		experiments.Instrument(reg)
+		hub := telemetry.NewHub()
+		smp, err := telemetry.NewSampler(hub, 1.0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "omniquery:", err)
+			os.Exit(2)
+		}
+		telemetry.SetDefault(smp)
+		col, err := promexp.NewCollector(hub, reg, 1<<16)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "omniquery:", err)
+			os.Exit(2)
+		}
+		defer col.Close()
+		ds, err := obs.ServeDebug(*telemetryAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "omniquery:", err)
+			os.Exit(2)
+		}
+		defer ds.Close()
+		ds.Handle("/metrics", col)
+		fmt.Fprintf(os.Stderr, "omniquery: telemetry endpoint on http://%s/metrics\n", ds.Addr)
+		if *telemetryHold > 0 {
+			defer func() {
+				fmt.Fprintf(os.Stderr, "omniquery: holding /metrics open for %s\n", *telemetryHold)
+				time.Sleep(*telemetryHold)
+			}()
+		}
+		streamSub, err = hub.Subscribe("", 1<<16)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "omniquery:", err)
+			os.Exit(2)
+		}
+		go func() {
+			defer close(pumpDone)
+			n, err := telemetry.Pump(streamSub, store)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "omniquery: pump:", err)
+			}
+			pumped = n
+		}()
+	}
+
 	// 1. Run the job (with the burn-in prelude, as production jobs do).
 	out, err := vasppower.Run(vasppower.RunSpec{
 		Bench: bench, Nodes: *nodes, Repeats: 1, Prelude: true, Seed: *seed,
@@ -68,8 +129,15 @@ func main() {
 		os.Exit(1)
 	}
 
+	// The run has published everything it will; close the pump's
+	// subscription, let it drain, and report what streamed in.
+	if streamSub != nil {
+		streamSub.Close()
+		<-pumpDone
+		fmt.Printf("streaming ingest: %d power.<domain> samples pumped into the store\n", pumped)
+	}
+
 	// 2. Ingest every node's sensors through the LDMS pipeline.
-	store := omni.NewStore()
 	cfg := monitor.LDMSDefault()
 	cfg.Seed = *seed
 	for _, n := range out.Nodes {

@@ -55,6 +55,8 @@ import (
 	"vasppower/internal/hw/platform"
 	"vasppower/internal/obs"
 	"vasppower/internal/par"
+	"vasppower/internal/telemetry"
+	"vasppower/internal/telemetry/promexp"
 )
 
 type result interface {
@@ -91,6 +93,10 @@ func main() {
 	tracePath := flag.String("trace", "", "append spans as JSON lines to this file (empty = no tracing)")
 	manifestPath := flag.String("manifest", "", "write a self-describing run manifest (JSON) to this file at exit")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address (e.g. localhost:6060)")
+	telemetryAddr := flag.String("telemetry-addr", "",
+		"stream per-host per-domain power samples and serve them as Prometheus text at /metrics on this address (e.g. localhost:9100)")
+	telemetryHold := flag.Duration("telemetry-hold", 0,
+		"keep the /metrics endpoint serving this long after the run completes, so scrapers can collect the final totals")
 	version := flag.Bool("version", false, "print module version, VCS revision, and dirty flag, then exit")
 	flag.Parse()
 
@@ -109,9 +115,9 @@ func main() {
 		Quick: *quick, Workers: *parallel,
 	}
 
-	// Observability: any of the three flags turns the recorder on; all
+	// Observability: any of the four flags turns the recorder on; all
 	// off leaves every hot path on its nil no-op default.
-	if *tracePath != "" || *manifestPath != "" || *debugAddr != "" {
+	if *tracePath != "" || *manifestPath != "" || *debugAddr != "" || *telemetryAddr != "" {
 		cfg.Obs = obs.New()
 		experiments.Instrument(cfg.Obs.Metrics)
 		if *tracePath != "" {
@@ -123,14 +129,51 @@ func main() {
 			defer f.Close()
 			cfg.Obs.Tracer = obs.NewTracer(f)
 		}
+		var ds *obs.DebugServer
 		if *debugAddr != "" {
-			ds, err := obs.ServeDebug(*debugAddr, cfg.Obs.Metrics)
+			srv, err := obs.ServeDebug(*debugAddr, cfg.Obs.Metrics)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "powerstudy:", err)
 				os.Exit(2)
 			}
+			ds = srv
 			defer ds.Close()
 			fmt.Fprintf(os.Stderr, "powerstudy: debug endpoint on http://%s (pprof, /debug/vars)\n", ds.Addr)
+		}
+		if *telemetryAddr != "" {
+			hub := telemetry.NewHub()
+			smp, err := telemetry.NewSampler(hub, 1.0)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "powerstudy:", err)
+				os.Exit(2)
+			}
+			telemetry.SetDefault(smp)
+			col, err := promexp.NewCollector(hub, cfg.Obs.Reg(), 1<<16)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "powerstudy:", err)
+				os.Exit(2)
+			}
+			defer col.Close()
+			// Reuse the debug server when both flags name the same
+			// address; otherwise the telemetry endpoint gets its own.
+			tds := ds
+			if tds == nil || *telemetryAddr != *debugAddr {
+				srv, err := obs.ServeDebug(*telemetryAddr, cfg.Obs.Metrics)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "powerstudy:", err)
+					os.Exit(2)
+				}
+				tds = srv
+				defer tds.Close()
+			}
+			tds.Handle("/metrics", col)
+			fmt.Fprintf(os.Stderr, "powerstudy: telemetry endpoint on http://%s/metrics\n", tds.Addr)
+			if *telemetryHold > 0 {
+				defer func() {
+					fmt.Fprintf(os.Stderr, "powerstudy: holding /metrics open for %s\n", *telemetryHold)
+					time.Sleep(*telemetryHold)
+				}()
+			}
 		}
 	}
 
@@ -237,6 +280,29 @@ func run(cfg experiments.Config, only, artifactDir string, w io.Writer) ([]obs.E
 	add("table1", func() (result, error) { r, err := experiments.RunTableI(cfg); return r, err })
 	add("fig1", func() (result, error) { r, err := experiments.RunFig1(cfg); return r, err })
 	add("fig2", func() (result, error) { r, err := experiments.RunFig2(cfg); return r, err })
+
+	// fig2smi is strictly opt-in (-only must name it): it adds the
+	// nvidia-smi sampling-pathology pipeline on top of the Fig. 2 run,
+	// and the default stdout is pinned byte-identical by the golden
+	// test, so it never joins the default list.
+	if selected["fig2smi"] {
+		units = append(units, unit{name: "fig2smi", run: func() (string, []artifact.Table, error) {
+			start := time.Now()
+			r, err := experiments.RunFig2(cfg)
+			if err != nil {
+				return "", nil, err
+			}
+			var sb strings.Builder
+			fmt.Fprintln(&sb, sep)
+			fmt.Fprintln(&sb, r.RenderPipelines())
+			fmt.Fprintf(&sb, "[fig2smi regenerated in %.1fs]\n\n", time.Since(start).Seconds())
+			var tabs []artifact.Table
+			if exportCSV {
+				tabs = append(tabs, r.PipelinesCSV())
+			}
+			return sb.String(), tabs, nil
+		}})
+	}
 	add("fig3", func() (result, error) { r, err := experiments.RunFig3(cfg); return r, err })
 
 	if want("fig4") || want("fig5") {

@@ -117,6 +117,7 @@ func executeGPUStep(job Job, st method.Step) float64 {
 	type exec struct {
 		dur   float64
 		power float64
+		memW  float64
 	}
 	// Every GPU runs the same kernel; durations differ only through
 	// cap solving against device-specific power curves. The step ends
@@ -127,7 +128,7 @@ func executeGPUStep(job Job, st method.Step) float64 {
 		row := make([]exec, n.NumGPUs())
 		for i, g := range n.GPUs {
 			ex := g.Run(st.GPU)
-			row[i] = exec{dur: ex.Duration, power: ex.Power}
+			row[i] = exec{dur: ex.Duration, power: ex.Power, memW: ex.MemPower}
 			if ex.Duration > maxDur {
 				maxDur = ex.Duration
 			}
@@ -137,19 +138,23 @@ func executeGPUStep(job Job, st method.Step) float64 {
 	maxDur *= jitter(job)
 	for ni, n := range job.Nodes {
 		cp := node.ComponentPowers{
-			CPU:  n.CPU.HostOrchestrationPower(),
-			Mem:  memPower(n, st.MemActivity),
-			GPUs: make([]float64, n.NumGPUs()),
+			CPU:     n.CPU.HostOrchestrationPower(),
+			Mem:     memPower(n, st.MemActivity),
+			GPUs:    make([]float64, n.NumGPUs()),
+			GPUMems: make([]float64, n.NumGPUs()),
 		}
 		for i := range n.GPUs {
 			// Devices that finish early wait at the barrier near idle;
-			// fold that into a duty-cycled average power.
+			// fold that into a duty-cycled average power. The HBM
+			// domain duty-cycles the same way (self-refresh while
+			// waiting).
 			e := execs[ni][i]
 			busy := e.dur / maxDur
 			if busy > 1 {
 				busy = 1
 			}
 			cp.GPUs[i] = e.power*busy + n.GPUs[i].IdlePower()*(1-busy)
+			cp.GPUMems[i] = e.memW*busy + n.GPUs[i].HBMIdlePower()*(1-busy)
 		}
 		n.Record(maxDur, cp)
 	}

@@ -22,6 +22,7 @@ import (
 	"vasppower/internal/par"
 	"vasppower/internal/sched"
 	"vasppower/internal/sim"
+	"vasppower/internal/telemetry"
 	"vasppower/internal/timeseries"
 	"vasppower/internal/workloads"
 )
@@ -210,6 +211,7 @@ func Instrument(reg *obs.Registry) {
 		sim.SetMetrics(nil)
 		omni.SetMetrics(nil)
 		timeseries.SetMetrics(nil)
+		telemetry.SetMetrics(nil)
 		return
 	}
 	cache.Instrument(memo.NewMetrics(reg, "memo"))
@@ -221,6 +223,7 @@ func Instrument(reg *obs.Registry) {
 	sim.SetMetrics(sim.NewMetrics(reg))
 	omni.SetMetrics(omni.NewMetrics(reg))
 	timeseries.SetMetrics(timeseries.NewMetrics(reg))
+	telemetry.SetMetrics(telemetry.NewMetrics(reg))
 }
 
 // CachedMeasureSpec runs spec through the process-wide two-tier

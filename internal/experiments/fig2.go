@@ -2,8 +2,11 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
+	"vasppower/internal/artifact"
+	"vasppower/internal/monitor"
 	"vasppower/internal/report"
 	"vasppower/internal/stats"
 	"vasppower/internal/timeseries"
@@ -31,6 +34,28 @@ type Fig2Result struct {
 	Bench     string
 	Points    []Fig2Point
 	BaseTrace timeseries.Series // the 0.1 s series (GPU 0)
+
+	// TrueMeanW and TrueEnergyJ are GPU 0's exact mean power and
+	// energy over the VASP window, integrated from the trace itself —
+	// the ground truth the pipeline comparison is scored against.
+	TrueMeanW   float64
+	TrueEnergyJ float64
+	// Pipelines compares three telemetry pipelines' views of the same
+	// run: the production LDMS path (1 s window-averaged, 50% drops),
+	// the lossless 0.1 s HighRate path, and polling nvidia-smi
+	// (point-sampled stale register reads — the pathology axis).
+	// Rendered by RenderPipelines, not Render, so the default Fig. 2
+	// output is unchanged.
+	Pipelines []Fig2Pipeline
+}
+
+// Fig2Pipeline is one telemetry pipeline's view of the Fig. 2 run.
+type Fig2Pipeline struct {
+	Name         string
+	Samples      int
+	MeanW        float64
+	HighMode     float64
+	EnergyErrPct float64 // signed energy error vs the trace integral
 }
 
 // Fig2Intervals lists the studied sampling intervals in seconds.
@@ -74,7 +99,104 @@ func RunFig2(cfg Config) (Fig2Result, error) {
 		}
 		res.Points = append(res.Points, pt)
 	}
+	if err := res.comparePipelines(out.Nodes[0].GPUTrace(0), out.VASPStart, out.VASPEnd, cfg.seed()); err != nil {
+		return Fig2Result{}, err
+	}
 	return res, nil
+}
+
+// comparePipelines scores three telemetry pipelines against the exact
+// trace integral of GPU 0 over the VASP window [start, end]: the
+// production LDMS path, the lossless HighRate path, and polling
+// nvidia-smi (SMIDefault — 1 s polls of a 100 ms point-sampled
+// register). Each pipeline's energy estimate is its sample mean times
+// the window, the estimate a practitioner forms from the series alone.
+func (r *Fig2Result) comparePipelines(tr *timeseries.Trace, start, end float64, seed uint64) error {
+	window := end - start
+	if window <= 0 {
+		return fmt.Errorf("fig2: empty VASP window [%v,%v]", start, end)
+	}
+	r.TrueMeanW = tr.MeanBetween(start, end)
+	r.TrueEnergyJ = r.TrueMeanW * window
+
+	ldms := monitor.LDMSDefault()
+	ldms.Seed = seed
+	run := func(name string, sample func() (timeseries.Series, error)) error {
+		s, err := sample()
+		if err != nil {
+			return fmt.Errorf("fig2: %s pipeline: %w", name, err)
+		}
+		s = s.Slice(start, end)
+		p := Fig2Pipeline{Name: name, Samples: s.Len()}
+		if s.Len() > 0 {
+			p.MeanW = s.Mean()
+			p.EnergyErrPct = 100 * (p.MeanW*window - r.TrueEnergyJ) / r.TrueEnergyJ
+			k := stats.NewKDE(s.Values, 0, 512)
+			if modes := k.Modes(stats.DefaultModeThreshold); len(modes) > 0 {
+				p.HighMode = modes[len(modes)-1].X
+			}
+		}
+		r.Pipelines = append(r.Pipelines, p)
+		return nil
+	}
+	if err := run("ldms", func() (timeseries.Series, error) { return monitor.Sample(tr, ldms) }); err != nil {
+		return err
+	}
+	if err := run("highrate", func() (timeseries.Series, error) { return monitor.Sample(tr, monitor.HighRate()) }); err != nil {
+		return err
+	}
+	return run("nvidia-smi", func() (timeseries.Series, error) { return monitor.SampleSMI(tr, monitor.SMIDefault()) })
+}
+
+// RenderPipelines draws the pipeline-pathology comparison (the
+// opt-in fig2smi experiment; Render's golden-pinned output is
+// untouched).
+func (r Fig2Result) RenderPipelines() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 2 (SMI axis) — telemetry pipelines vs ground truth (%s, 1 node, GPU 0)\n\n", r.Bench)
+	fmt.Fprintf(&sb, "trace integral: mean %.1f W, energy %.3f MJ over the VASP window\n\n",
+		r.TrueMeanW, r.TrueEnergyJ/1e6)
+	t := report.NewTable("pipeline", "samples", "mean", "high mode", "energy err")
+	for _, p := range r.Pipelines {
+		t.AddRow(
+			p.Name,
+			fmt.Sprintf("%d", p.Samples),
+			fmt.Sprintf("%.1f W", p.MeanW),
+			fmt.Sprintf("%.0f W", p.HighMode),
+			fmt.Sprintf("%+.2f%%", p.EnergyErrPct),
+		)
+	}
+	sb.WriteString(t.String())
+	sb.WriteString("\nnvidia-smi reads a stale point-sampled register: transients between its\n")
+	sb.WriteString("update ticks never land in any sample, while the PM counters integrate them.\n")
+	return sb.String()
+}
+
+// PipelinesCSV exports the pipeline comparison.
+func (r Fig2Result) PipelinesCSV() artifact.Table {
+	t := artifact.Table{
+		Name:   "fig2_smi_pipelines",
+		Header: []string{"pipeline", "samples", "mean_w", "high_mode_w", "energy_err_pct", "true_mean_w", "true_energy_j"},
+	}
+	for _, p := range r.Pipelines {
+		t.Rows = append(t.Rows, []string{
+			p.Name, artifact.I(p.Samples), artifact.F(p.MeanW), artifact.F(p.HighMode),
+			artifact.F(p.EnergyErrPct), artifact.F(r.TrueMeanW), artifact.F(r.TrueEnergyJ),
+		})
+	}
+	return t
+}
+
+// MaxAbsEnergyErrPct returns the worst pipeline energy error by
+// magnitude, keyed by name.
+func (r Fig2Result) MaxAbsEnergyErrPct() (string, float64) {
+	name, worst := "", 0.0
+	for _, p := range r.Pipelines {
+		if a := math.Abs(p.EnergyErrPct); a >= worst {
+			name, worst = p.Name, a
+		}
+	}
+	return name, worst
 }
 
 // HighModeStable reports whether the high power mode stayed within

@@ -210,8 +210,47 @@ func (k Kernel) checkField(field string, v float64) error {
 type Execution struct {
 	Duration  float64 // seconds
 	Power     float64 // sustained board power during the kernel, W
+	MemPower  float64 // HBM-domain share of Power (stacks + controllers), W
 	ClockFrac float64 // clock the cap solver settled on
 	Capped    bool    // true if the cap forced a clock below max
+}
+
+// NVML power-domain decomposition. A board sensor (the module scope)
+// reads the whole package: SM array + caches (the GPU scope), the HBM
+// stacks and their controllers (the memory scope), and the on-board
+// voltage-regulator conversion losses, which NVML attributes to the
+// module but to neither sub-scope. The model splits the board power it
+// already computes along those seams; the constants below are the two
+// seam parameters.
+const (
+	// HBMIdleFrac is the fraction of the board's idle draw spent in the
+	// memory domain (HBM refresh, standby, controller clocks). The
+	// A100's ~52 W idle holds the stacks in self-refresh; teardown
+	// measurements put that share near a quarter of the board floor.
+	HBMIdleFrac = 0.25
+	// ModuleVRFrac is the voltage-regulator conversion loss as a
+	// fraction of board power: the module sensor reads it, the GPU and
+	// memory scopes do not, which is why gpu + memory < module on real
+	// boards.
+	ModuleVRFrac = 0.06
+)
+
+// HBMIdlePower returns the memory domain's share of the device's idle
+// draw (with the device's static-power variability).
+func (g *GPU) HBMIdlePower() float64 {
+	return HBMIdleFrac * g.Spec.IdleWatts * g.idleScale
+}
+
+// CoreDomainPower splits one board-power reading into the NVML GPU
+// scope: module power minus VR losses minus the memory domain.
+// Clamped at zero so a decomposition fed inconsistent values stays
+// physical.
+func CoreDomainPower(moduleW, memW float64) float64 {
+	core := moduleW*(1-ModuleVRFrac) - memW
+	if core < 0 {
+		return 0
+	}
+	return core
 }
 
 // GPU is one device instance. Manufacturing variability (the paper
@@ -362,6 +401,25 @@ func (g *GPU) powerAt(k Kernel, p ExecProfile, c float64) float64 {
 	return pw
 }
 
+// memPowerAt returns the memory-domain share of powerAt(k, p, c): the
+// HBM idle share plus the dynamic bandwidth term. Both terms also
+// appear inside powerAt, so memPowerAt(…) ≤ powerAt(…) at every clock
+// (the rest of the board — SMs, base, the non-HBM idle share — is
+// non-negative), which is what keeps the domain decomposition
+// consistent with the board total.
+func (g *GPU) memPowerAt(k Kernel, p ExecProfile, c float64) float64 {
+	t := g.timeAt(k, p, c)
+	if t <= 0 {
+		return g.HBMIdlePower()
+	}
+	eff := g.effScale
+	if p.PowerScale != 0 {
+		eff *= p.PowerScale
+	}
+	byteRate := k.Bytes / t
+	return g.HBMIdlePower() + eff*g.Spec.MemPowerFull*(byteRate/g.Spec.PeakMemBW)
+}
+
 // Run executes the kernel under the current power limit and returns
 // the resulting duration and sustained power. The descriptor is first
 // resolved through the device's efficiency table; the cap solver then
@@ -384,11 +442,13 @@ func (g *GPU) runResolved(k Kernel, p ExecProfile) Execution {
 	cMin := g.Spec.MinClockFrac
 	cMax := g.clockLimit // DVFS ceiling (1 when unlocked)
 	if pw := g.powerAt(k, p, cMax); pw <= cap {
-		return Execution{Duration: g.timeAt(k, p, cMax), Power: pw, ClockFrac: cMax, Capped: cMax < 1}
+		return Execution{Duration: g.timeAt(k, p, cMax), Power: pw,
+			MemPower: g.memPowerAt(k, p, cMax), ClockFrac: cMax, Capped: cMax < 1}
 	}
 	if pw := g.powerAt(k, p, cMin); pw > cap {
 		// Cap unachievable: run at the floor, overshooting.
-		return Execution{Duration: g.timeAt(k, p, cMin), Power: pw, ClockFrac: cMin, Capped: true}
+		return Execution{Duration: g.timeAt(k, p, cMin), Power: pw,
+			MemPower: g.memPowerAt(k, p, cMin), ClockFrac: cMin, Capped: true}
 	}
 	lo, hi := cMin, cMax
 	for i := 0; i < 48; i++ {
@@ -399,7 +459,8 @@ func (g *GPU) runResolved(k Kernel, p ExecProfile) Execution {
 			hi = mid
 		}
 	}
-	return Execution{Duration: g.timeAt(k, p, lo), Power: g.powerAt(k, p, lo), ClockFrac: lo, Capped: true}
+	return Execution{Duration: g.timeAt(k, p, lo), Power: g.powerAt(k, p, lo),
+		MemPower: g.memPowerAt(k, p, lo), ClockFrac: lo, Capped: true}
 }
 
 // lowCapThreshold is the cap below which the board's power-management

@@ -38,19 +38,21 @@ type Node struct {
 	peripheralWatts float64 // with per-node variability
 	memScale        float64
 
-	cpuTrace  timeseries.Trace
-	memTrace  timeseries.Trace
-	gpuTraces []timeseries.Trace
+	cpuTrace     timeseries.Trace
+	memTrace     timeseries.Trace
+	gpuTraces    []timeseries.Trace
+	gpuMemTraces []timeseries.Trace // HBM-domain share of each gpuTrace
 
 	// Memoized derived traces. TotalTrace and GPUSumTrace are read
 	// once per metric by the telemetry pipeline and again by the
 	// analysis layer; recomputing the k-way sum on every sensor read
 	// dominated profile assembly. Record and ResetTraces invalidate
-	// both. The cached traces are shared across callers, which must
-	// treat them as read-only (the same contract Segments already
+	// all of them. The cached traces are shared across callers, which
+	// must treat them as read-only (the same contract Segments already
 	// states).
-	totalCache  *timeseries.Trace
-	gpuSumCache *timeseries.Trace
+	totalCache   *timeseries.Trace
+	gpuSumCache  *timeseries.Trace
+	domainCaches map[Domain]*timeseries.Trace
 }
 
 // New builds a node of the given platform. r seeds per-node
@@ -69,6 +71,7 @@ func New(name string, p platform.Platform, r *rng.Stream) *Node {
 		peripheralWatts: p.Node.PeripheralWatts,
 		memScale:        1,
 		gpuTraces:       make([]timeseries.Trace, p.GPUsPerNode),
+		gpuMemTraces:    make([]timeseries.Trace, p.GPUsPerNode),
 	}
 	v := p.Variability
 	var cpuR, memR *rng.Stream
@@ -127,10 +130,18 @@ func (n *Node) IdlePower() float64 {
 
 // ComponentPowers is a snapshot of per-component power for one
 // recorded segment. GPUs has one entry per device on the node.
+//
+// GPUMems optionally carries each GPU's HBM-domain share of the
+// corresponding GPUs entry (the NVML memory scope — distinct from Mem,
+// which is the node's DDR). Nil means "not decomposed": Record falls
+// back to each device's HBM idle share, which is correct for every
+// segment where the GPUs are not streaming (idle, CPU phases, comm
+// waits).
 type ComponentPowers struct {
-	CPU  float64
-	Mem  float64
-	GPUs []float64
+	CPU     float64
+	Mem     float64
+	GPUs    []float64
+	GPUMems []float64
 }
 
 // Idle returns the node's idle component powers.
@@ -157,14 +168,23 @@ func (n *Node) Record(dur float64, p ComponentPowers) {
 		panic(fmt.Sprintf("node: recording %d GPU powers on a %d-GPU node",
 			len(p.GPUs), len(n.gpuTraces)))
 	}
+	if p.GPUMems != nil && len(p.GPUMems) != len(n.gpuTraces) {
+		panic(fmt.Sprintf("node: recording %d GPU memory powers on a %d-GPU node",
+			len(p.GPUMems), len(n.gpuTraces)))
+	}
 	if dur == 0 {
 		return
 	}
-	n.totalCache, n.gpuSumCache = nil, nil
+	n.totalCache, n.gpuSumCache, n.domainCaches = nil, nil, nil
 	n.cpuTrace.Append(dur, p.CPU)
 	n.memTrace.Append(dur, p.Mem)
 	for i := range n.gpuTraces {
 		n.gpuTraces[i].Append(dur, p.GPUs[i])
+		memW := n.GPUs[i].HBMIdlePower()
+		if p.GPUMems != nil {
+			memW = p.GPUMems[i]
+		}
+		n.gpuMemTraces[i].Append(dur, memW)
 	}
 }
 
@@ -209,6 +229,109 @@ func (n *Node) TotalTrace() *timeseries.Trace {
 	return n.totalCache
 }
 
+// Domain is an NVML-style power scope over the node's accelerators,
+// plus the whole-node scope the Cray PM node sensor reads. The GPU
+// scopes aggregate over all devices on the host (the per-device view
+// is GPUCoreTrace/GPUMemTrace/GPUTrace).
+type Domain string
+
+const (
+	// DomainGPU is NVML_POWER_SCOPE_GPU: the GPU dies alone — SM
+	// arrays, caches, controllers — summed over the node's devices.
+	DomainGPU Domain = "gpu"
+	// DomainMemory is NVML_POWER_SCOPE_MEMORY: the HBM stacks and
+	// their controllers, summed over the node's devices. Distinct from
+	// the Cray PM "memory" metric, which is the host's DDR.
+	DomainMemory Domain = "memory"
+	// DomainModule is NVML_POWER_SCOPE_MODULE: the whole SXM modules
+	// (die + HBM + voltage-regulator losses) — what the board sensor
+	// and the Cray PM per-GPU counters read.
+	DomainModule Domain = "module"
+	// DomainNode is the node-level sensor: every component plus
+	// unmetered peripherals.
+	DomainNode Domain = "node"
+)
+
+// Domains lists every power domain, in decomposition order.
+func Domains() []Domain { return []Domain{DomainGPU, DomainMemory, DomainModule, DomainNode} }
+
+// ValidDomain reports whether d names a power domain.
+func ValidDomain(d Domain) bool {
+	switch d {
+	case DomainGPU, DomainMemory, DomainModule, DomainNode:
+		return true
+	}
+	return false
+}
+
+// GPUMemTrace returns GPU i's HBM-domain (NVML memory scope) power
+// trace, recorded in lockstep with GPUTrace(i).
+func (n *Node) GPUMemTrace(i int) *timeseries.Trace { return &n.gpuMemTraces[i] }
+
+// GPUCoreTrace returns GPU i's core-domain (NVML GPU scope) power
+// trace, derived segment-wise from the board and HBM traces:
+// board·(1−VR losses) − HBM, floored at zero. Not memoized — callers
+// wanting the per-host aggregate should use DomainTrace(DomainGPU),
+// which is.
+func (n *Node) GPUCoreTrace(i int) *timeseries.Trace {
+	return coreTrace(&n.gpuTraces[i], &n.gpuMemTraces[i])
+}
+
+// coreTrace derives the core-domain trace from a module (board) trace
+// and its memory-domain share. The two traces cover identical time but
+// may be segmented differently (equal-power merging is per-trace), so
+// they are combined through the k-way Sum.
+func coreTrace(module, mem *timeseries.Trace) *timeseries.Trace {
+	return timeseries.Sum(module.Scale(1-gpu.ModuleVRFrac), mem.Scale(-1)).
+		Map(func(p float64) float64 {
+			if p < 0 {
+				return 0
+			}
+			return p
+		})
+}
+
+// DomainTrace returns the node's power trace for one domain scope:
+// DomainGPU and DomainMemory sum the per-device core and HBM traces,
+// DomainModule is the board-power sum (GPUSumTrace), DomainNode is the
+// node sensor (TotalTrace). Results are memoized until the next Record
+// or ResetTraces and must be treated as read-only. By construction
+// gpu + memory ≤ module ≤ node pointwise. Unknown domains panic.
+func (n *Node) DomainTrace(d Domain) *timeseries.Trace {
+	if tr, ok := n.domainCaches[d]; ok {
+		return tr
+	}
+	var tr *timeseries.Trace
+	switch d {
+	case DomainModule:
+		tr = n.GPUSumTrace()
+	case DomainNode:
+		tr = n.TotalTrace()
+	case DomainMemory:
+		traces := make([]*timeseries.Trace, len(n.gpuMemTraces))
+		for i := range n.gpuMemTraces {
+			traces[i] = &n.gpuMemTraces[i]
+		}
+		tr = timeseries.Sum(traces...)
+	case DomainGPU:
+		// Σ core_i: distribute the subtraction — Σ board_i·(1−vr) − Σ
+		// hbm_i would lose the per-device zero floor, so sum the
+		// per-device core traces instead.
+		traces := make([]*timeseries.Trace, len(n.gpuTraces))
+		for i := range n.gpuTraces {
+			traces[i] = coreTrace(&n.gpuTraces[i], &n.gpuMemTraces[i])
+		}
+		tr = timeseries.Sum(traces...)
+	default:
+		panic(fmt.Sprintf("node: unknown power domain %q", d))
+	}
+	if n.domainCaches == nil {
+		n.domainCaches = make(map[Domain]*timeseries.Trace, 4)
+	}
+	n.domainCaches[d] = tr
+	return tr
+}
+
 // TraceDuration returns the recorded duration (identical across
 // components by construction).
 func (n *Node) TraceDuration() float64 { return n.cpuTrace.Duration() }
@@ -216,11 +339,12 @@ func (n *Node) TraceDuration() float64 { return n.cpuTrace.Duration() }
 // ResetTraces clears all recorded traces (e.g. between benchmark
 // repeats) without touching device state such as power limits.
 func (n *Node) ResetTraces() {
-	n.totalCache, n.gpuSumCache = nil, nil
+	n.totalCache, n.gpuSumCache, n.domainCaches = nil, nil, nil
 	n.cpuTrace = timeseries.Trace{}
 	n.memTrace = timeseries.Trace{}
 	for i := range n.gpuTraces {
 		n.gpuTraces[i] = timeseries.Trace{}
+		n.gpuMemTraces[i] = timeseries.Trace{}
 	}
 }
 

@@ -1,0 +1,111 @@
+package monitor_test
+
+import (
+	"reflect"
+	"testing"
+
+	"vasppower/internal/monitor"
+	"vasppower/internal/timeseries"
+	"vasppower/internal/workloads"
+)
+
+// droppedIndices recovers which nominal samples the ingest pipeline
+// lost: every index of the lossless base series whose timestamp is
+// missing from the surviving series.
+func droppedIndices(full, kept timeseries.Series) []int {
+	have := make(map[float64]bool, kept.Len())
+	for _, t := range kept.Times {
+		have[t] = true
+	}
+	var out []int
+	for i, t := range full.Times {
+		if !have[t] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func sampleRun(t *testing.T, workers int) map[string]timeseries.Series {
+	t.Helper()
+	bench, ok := workloads.ByName("B.hR105_hse")
+	if !ok {
+		t.Fatal("benchmark missing")
+	}
+	out, err := workloads.Run(workloads.RunSpec{
+		Bench:   bench,
+		Nodes:   1,
+		Repeats: 3,
+		Seed:    11,
+		Workers: workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := monitor.LDMSDefault()
+	cfg.Seed = 5
+	got, err := monitor.SampleNode(out.Nodes[0], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// The drop process must be a pure function of (seed, node name, metric
+// name): re-running the same seeded workload — serially or through an
+// 8-wide worker pool — must lose exactly the same sample indices. A
+// scheduler- or map-order-dependent draw sequence would break warm
+// cache reuse and make every archived run irreproducible.
+func TestSampleNodeDropDeterminism(t *testing.T) {
+	serial := sampleRun(t, 1)
+	again := sampleRun(t, 1)
+	wide := sampleRun(t, 8)
+
+	if !reflect.DeepEqual(serial, again) {
+		t.Fatal("identical seeded runs sampled differently")
+	}
+	if !reflect.DeepEqual(serial, wide) {
+		t.Fatal("worker count changed the sampled series")
+	}
+
+	// Cross-check at the drop-index level against the lossless base
+	// series, so a failure reports which samples moved.
+	bench, _ := workloads.ByName("B.hR105_hse")
+	out, err := workloads.Run(workloads.RunSpec{Bench: bench, Nodes: 1, Repeats: 3, Seed: 11, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := out.Nodes[0]
+	cfg := monitor.LDMSDefault()
+	cfg.Seed = 5
+	anyDropped := false
+	for _, metric := range monitor.Metrics(n.NumGPUs()) {
+		full := n.TotalTrace().Sample(cfg.Interval)
+		switch metric {
+		case monitor.MetricCPU:
+			full = n.CPUTrace().Sample(cfg.Interval)
+		case monitor.MetricMemory:
+			full = n.MemTrace().Sample(cfg.Interval)
+		default:
+			for i := 0; i < n.NumGPUs(); i++ {
+				if metric == monitor.GPUMetric(i) {
+					full = n.GPUTrace(i).Sample(cfg.Interval)
+				}
+			}
+		}
+		a := droppedIndices(full, serial[metric])
+		b := droppedIndices(full, wide[metric])
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: dropped indices differ: serial %v, workers:8 %v", metric, a, b)
+		}
+		if len(a) > 0 {
+			anyDropped = true
+		}
+		if serial[metric].Len()+len(a) != full.Len() {
+			t.Fatalf("%s: %d kept + %d dropped != %d nominal", metric, serial[metric].Len(), len(a), full.Len())
+		}
+	}
+	if !anyDropped {
+		t.Fatal("LDMS config dropped nothing; test has no teeth")
+	}
+}

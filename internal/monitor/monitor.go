@@ -9,6 +9,7 @@ package monitor
 
 import (
 	"fmt"
+	"math"
 
 	"vasppower/internal/hw/node"
 	"vasppower/internal/rng"
@@ -35,12 +36,14 @@ func LDMSDefault() Config { return Config{Interval: 1.0, DropProb: 0.5, Seed: 1}
 // paper's sampling-rate study (Fig. 2).
 func HighRate() Config { return Config{Interval: 0.1} }
 
-// Validate checks the configuration.
+// Validate checks the configuration. The comparisons are phrased so
+// NaN fails them: NaN < x and NaN >= x are both false, so a naive
+// `Interval <= 0` check waves NaN through.
 func (c Config) Validate() error {
-	if c.Interval <= 0 {
-		return fmt.Errorf("monitor: non-positive interval %v", c.Interval)
+	if !(c.Interval > 0) || math.IsInf(c.Interval, 0) {
+		return fmt.Errorf("monitor: interval %v, want finite > 0", c.Interval)
 	}
-	if c.DropProb < 0 || c.DropProb >= 1 {
+	if math.IsNaN(c.DropProb) || c.DropProb < 0 || c.DropProb >= 1 {
 		return fmt.Errorf("monitor: drop probability %v out of [0,1)", c.DropProb)
 	}
 	return nil

@@ -1,0 +1,113 @@
+package monitor
+
+import (
+	"fmt"
+	"math"
+
+	"vasppower/internal/timeseries"
+)
+
+// SMIConfig models nvidia-smi's sampling pathologies, following
+// "Part-time Power Measurements: nvidia-smi's Lack of Attention": the
+// driver refreshes an internal power register on its own fixed clock,
+// and a client poll does not measure anything — it reads back the
+// register's last value, however stale. Three pathologies fall out:
+//
+//   - point sampling: each register refresh is an instantaneous (or
+//     briefly averaged) reading, not an energy-accumulating window
+//     like the Cray PM counters, so power excursions between
+//     refreshes are invisible (transient miss);
+//   - reading age: a poll at time t returns the refresh at or before
+//     t, so values are up to UpdateInterval stale;
+//   - aliasing: when the poll clock and the update clock are
+//     incommensurate, the reading age beats against the poll period
+//     and periodic workload structure folds into spurious frequencies.
+type SMIConfig struct {
+	// PollInterval is the client's query spacing in seconds (how often
+	// nvidia-smi is invoked).
+	PollInterval float64
+	// UpdateInterval is the driver's internal register refresh period
+	// in seconds.
+	UpdateInterval float64
+	// AveragingWindow is the span the driver averages over when
+	// refreshing the register; 0 is a pure point sample. (On Ampere
+	// boards the reading is close to instantaneous; later generations
+	// average a short window.)
+	AveragingWindow float64
+	// Phase offsets the update clock relative to the trace origin,
+	// in [0, UpdateInterval) — two identical runs polled by identical
+	// clients can still read different values because the driver's
+	// clock started at a different phase.
+	Phase float64
+}
+
+// SMIDefault returns an A100-like configuration: 1 s client polls of a
+// register refreshed every 100 ms with (near-)instantaneous readings.
+func SMIDefault() SMIConfig { return SMIConfig{PollInterval: 1.0, UpdateInterval: 0.1} }
+
+// Validate checks the configuration, rejecting non-finite values with
+// the same NaN-proof phrasing as Config.Validate.
+func (c SMIConfig) Validate() error {
+	if !(c.PollInterval > 0) || math.IsInf(c.PollInterval, 0) {
+		return fmt.Errorf("monitor: smi poll interval %v, want finite > 0", c.PollInterval)
+	}
+	if !(c.UpdateInterval > 0) || math.IsInf(c.UpdateInterval, 0) {
+		return fmt.Errorf("monitor: smi update interval %v, want finite > 0", c.UpdateInterval)
+	}
+	if !(c.AveragingWindow >= 0) || math.IsInf(c.AveragingWindow, 0) {
+		return fmt.Errorf("monitor: smi averaging window %v, want finite >= 0", c.AveragingWindow)
+	}
+	if !(c.Phase >= 0) || !(c.Phase < c.UpdateInterval) {
+		return fmt.Errorf("monitor: smi phase %v out of [0, update interval %v)", c.Phase, c.UpdateInterval)
+	}
+	return nil
+}
+
+// SampleSMI reads a power trace the way polling nvidia-smi does. The
+// driver's register holds the reading taken at the most recent update
+// tick u_k = Phase + k·UpdateInterval; a client poll at t_j =
+// j·PollInterval returns that register value, timestamped t_j (the
+// client cannot see the reading's true age). Update ticks before the
+// trace begins read the trace's initial power.
+func SampleSMI(tr *timeseries.Trace, cfg SMIConfig) (timeseries.Series, error) {
+	if err := cfg.Validate(); err != nil {
+		return timeseries.Series{}, err
+	}
+	dur := tr.Duration()
+	n := int((dur + 1e-9) / cfg.PollInterval)
+	if n < 0 {
+		n = 0
+	}
+	s := timeseries.Series{
+		Times:  make([]float64, 0, n),
+		Values: make([]float64, 0, n),
+	}
+	for j := 1; float64(j)*cfg.PollInterval <= dur+1e-9; j++ {
+		t := float64(j) * cfg.PollInterval
+		// Latest update tick at or before the poll.
+		k := math.Floor((t - cfg.Phase) / cfg.UpdateInterval)
+		u := cfg.Phase + k*cfg.UpdateInterval
+		if u < 0 {
+			u = 0
+		}
+		if u > dur {
+			u = dur
+		}
+		var v float64
+		if cfg.AveragingWindow > 0 {
+			a := u - cfg.AveragingWindow
+			if a < 0 {
+				a = 0
+			}
+			v = tr.MeanBetween(a, u)
+		} else {
+			// Point sample: nudge inside the trace so a tick landing
+			// exactly on a segment boundary reads the segment that just
+			// ended, matching a register latched "at" that instant.
+			v = tr.PowerAt(math.Min(u, dur) - 1e-12)
+		}
+		s.Times = append(s.Times, t)
+		s.Values = append(s.Values, v)
+	}
+	return s, nil
+}

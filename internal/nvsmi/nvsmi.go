@@ -41,6 +41,20 @@ func (s *Interface) Register(n *node.Node) error {
 	return nil
 }
 
+// Unregister removes a node by host name — the management endpoint
+// forgetting a drained or decommissioned host. Unknown hosts are an
+// error, matching Register's duplicate check, so a caller tearing down
+// twice hears about it. The name is free for re-registration after.
+func (s *Interface) Unregister(host string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.nodes[host]; !ok {
+		return fmt.Errorf("nvsmi: unknown host %q", host)
+	}
+	delete(s.nodes, host)
+	return nil
+}
+
 // Hosts returns registered host names, sorted.
 func (s *Interface) Hosts() []string {
 	s.mu.RLock()

@@ -35,6 +35,36 @@ func TestRegisterValidation(t *testing.T) {
 	}
 }
 
+func TestUnregister(t *testing.T) {
+	s, n := testIface(t)
+	if err := s.Unregister("missing"); err == nil {
+		t.Fatal("unknown host accepted")
+	}
+	if err := s.Unregister("nid000001"); err != nil {
+		t.Fatal(err)
+	}
+	if hosts := s.Hosts(); len(hosts) != 0 {
+		t.Fatalf("hosts after unregister = %v", hosts)
+	}
+	if _, err := s.Query("nid000001"); err == nil {
+		t.Fatal("unregistered host still queryable")
+	}
+	if err := s.Unregister("nid000001"); err == nil {
+		t.Fatal("double unregister accepted")
+	}
+	// The name is free again: re-registering the same node succeeds and
+	// the endpoint serves it as before.
+	if err := s.Register(n); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetPowerLimit("nid000001", 0, 250); err != nil {
+		t.Fatal(err)
+	}
+	if n.GPUs[0].PowerLimit() != 250 {
+		t.Fatal("limit not applied after re-registration")
+	}
+}
+
 func TestSetPowerLimitSingleGPU(t *testing.T) {
 	s, n := testIface(t)
 	if err := s.SetPowerLimit("nid000001", 2, 250); err != nil {

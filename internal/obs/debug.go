@@ -6,18 +6,26 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
+	"sync"
 	"time"
 )
 
 // DebugServer is the live-inspection endpoint for long sweeps: the
 // standard pprof handlers plus an expvar-style JSON dump of the
 // metrics registry. It binds eagerly (so a bad address fails fast at
-// startup) and serves in the background until Close.
+// startup) and serves in the background until Close. Extra handlers —
+// the telemetry exporter's /metrics — can be mounted after startup
+// with Handle.
 type DebugServer struct {
 	// Addr is the resolved listen address (useful with ":0").
 	Addr string
 	srv  *http.Server
 	ln   net.Listener
+	mux  *http.ServeMux
+
+	mu    sync.Mutex
+	extra []string // mounted patterns, for the index page
 }
 
 // ServeDebug starts a debug HTTP server on addr exposing:
@@ -42,18 +50,36 @@ func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
 		enc.SetIndent("", "  ")
 		enc.Encode(reg.Snapshot())
 	})
-	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "vasppower debug endpoint")
-		fmt.Fprintln(w, "  /debug/pprof/   profiles (heap, goroutine, profile?seconds=N, ...)")
-		fmt.Fprintln(w, "  /debug/vars     metrics registry snapshot (JSON)")
-	})
 	ds := &DebugServer{
 		Addr: ln.Addr().String(),
 		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
 		ln:   ln,
+		mux:  mux,
 	}
+	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "vasppower debug endpoint")
+		fmt.Fprintln(w, "  /debug/pprof/   profiles (heap, goroutine, profile?seconds=N, ...)")
+		fmt.Fprintln(w, "  /debug/vars     metrics registry snapshot (JSON)")
+		ds.mu.Lock()
+		extra := append([]string(nil), ds.extra...)
+		ds.mu.Unlock()
+		sort.Strings(extra)
+		for _, p := range extra {
+			fmt.Fprintf(w, "  %s\n", p)
+		}
+	})
 	go ds.srv.Serve(ln)
 	return ds, nil
+}
+
+// Handle mounts h at pattern on the debug mux and lists the pattern on
+// the index page. ServeMux registration is safe while serving; like
+// ServeMux, Handle panics on a duplicate pattern.
+func (d *DebugServer) Handle(pattern string, h http.Handler) {
+	d.mux.Handle(pattern, h)
+	d.mu.Lock()
+	d.extra = append(d.extra, pattern)
+	d.mu.Unlock()
 }
 
 // Close stops the server and its listener.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"testing"
 )
 
@@ -45,6 +46,32 @@ func TestServeDebug(t *testing.T) {
 	}
 	if body := get("/"); len(body) == 0 {
 		t.Fatal("index page empty")
+	}
+}
+
+func TestDebugServerHandle(t *testing.T) {
+	ds, err := ServeDebug("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	ds.Handle("/metrics", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, "exported 1")
+	}))
+	get := func(path string) string {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", ds.Addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return string(body)
+	}
+	if got := get("/metrics"); got != "exported 1" {
+		t.Fatalf("/metrics = %q", got)
+	}
+	if idx := get("/"); !strings.Contains(idx, "/metrics") {
+		t.Fatalf("index does not list mounted handler:\n%s", idx)
 	}
 }
 

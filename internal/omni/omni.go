@@ -10,6 +10,7 @@ package omni
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -107,6 +108,39 @@ func (s *Store) Insert(host, metric string, data timeseries.Series) error {
 	}
 	existing.Times = append(existing.Times, data.Times...)
 	existing.Values = append(existing.Values, data.Values...)
+	hm[metric] = existing
+	if m := metrics.Load(); m != nil {
+		m.Inserts.Add(1)
+	}
+	return nil
+}
+
+// InsertSample appends a single sample for (host, metric) — the
+// streaming ingest path the telemetry subscription pump uses, so a
+// live run lands in the store one reading at a time instead of as a
+// post-run batch. The same ordering contract as Insert applies: each
+// sample must be strictly after the last one stored for its key.
+func (s *Store) InsertSample(host, metric string, t, v float64) error {
+	if host == "" || metric == "" {
+		return fmt.Errorf("omni: empty host or metric")
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) || math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("omni: non-finite sample for %s/%s", host, metric)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	hm := s.series[host]
+	if hm == nil {
+		hm = make(map[string]timeseries.Series)
+		s.series[host] = hm
+	}
+	existing := hm[metric]
+	if n := existing.Len(); n > 0 && t <= existing.Times[n-1] {
+		return fmt.Errorf("omni: out-of-order insert for %s/%s (%v after %v)",
+			host, metric, t, existing.Times[n-1])
+	}
+	existing.Times = append(existing.Times, t)
+	existing.Values = append(existing.Values, v)
 	hm[metric] = existing
 	if m := metrics.Load(); m != nil {
 		m.Inserts.Add(1)

@@ -1,0 +1,35 @@
+package telemetry
+
+import (
+	"sync/atomic"
+
+	"vasppower/internal/obs"
+)
+
+// Metrics counts stream traffic across every Hub in the process.
+// Published counts samples delivered to at least one subscriber;
+// Dropped counts ring-buffer evictions (slow subscribers); and
+// Subscriptions counts Subscribe calls. Install with SetMetrics; the
+// counters land in the run manifest through the registry snapshot, so
+// a run's drop process is part of its record. The nil default costs
+// one atomic load per operation.
+type Metrics struct {
+	Published     *obs.Counter
+	Dropped       *obs.Counter
+	Subscriptions *obs.Counter
+}
+
+// NewMetrics registers the stream metric set under "telemetry." in reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Published:     reg.Counter("telemetry.published"),
+		Dropped:       reg.Counter("telemetry.dropped"),
+		Subscriptions: reg.Counter("telemetry.subscriptions"),
+	}
+}
+
+var metrics atomic.Pointer[Metrics]
+
+// SetMetrics installs (or, with nil, removes) the process-wide stream
+// metrics. Install once at startup, before hubs see traffic.
+func SetMetrics(m *Metrics) { metrics.Store(m) }

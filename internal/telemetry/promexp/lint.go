@@ -1,0 +1,216 @@
+package promexp
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Metric is one parsed sample line of a text-format scrape.
+type Metric struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Key returns a canonical series identity (name plus sorted labels)
+// for cross-scrape comparison.
+func (m Metric) Key() string {
+	if len(m.Labels) == 0 {
+		return m.Name
+	}
+	pairs := make([]string, 0, len(m.Labels))
+	for k, v := range m.Labels {
+		pairs = append(pairs, k+"="+v)
+	}
+	// Deterministic small-slice sort without pulling in package sort's
+	// interface ceremony per call site would be overkill — just sort.
+	for i := 1; i < len(pairs); i++ {
+		for j := i; j > 0 && pairs[j] < pairs[j-1]; j-- {
+			pairs[j], pairs[j-1] = pairs[j-1], pairs[j]
+		}
+	}
+	return m.Name + "{" + strings.Join(pairs, ",") + "}"
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+	typeRe       = regexp.MustCompile(`^(counter|gauge|histogram|summary|untyped)$`)
+)
+
+// Parse lints a text-format exposition (version 0.0.4) and returns
+// its samples. It enforces the format rules the CI scrape check
+// relies on: well-formed HELP/TYPE comments, TYPE declared before the
+// family's first sample and only once, valid metric and label names,
+// parseable values, and no duplicate series within one scrape.
+func Parse(text string) ([]Metric, error) {
+	var out []Metric
+	typed := make(map[string]string)    // family → declared type
+	seenSample := make(map[string]bool) // family → sample emitted
+	seenSeries := make(map[string]bool) // series key → emitted
+	for ln, line := range strings.Split(text, "\n") {
+		lineNo := ln + 1
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || fields[0] != "#" {
+				return nil, fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			switch fields[1] {
+			case "HELP":
+				if !metricNameRe.MatchString(fields[2]) {
+					return nil, fmt.Errorf("line %d: bad metric name %q in HELP", lineNo, fields[2])
+				}
+			case "TYPE":
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("line %d: TYPE needs a name and a type", lineNo)
+				}
+				name, typ := fields[2], strings.TrimSpace(fields[3])
+				if !metricNameRe.MatchString(name) {
+					return nil, fmt.Errorf("line %d: bad metric name %q in TYPE", lineNo, name)
+				}
+				if !typeRe.MatchString(typ) {
+					return nil, fmt.Errorf("line %d: unknown type %q", lineNo, typ)
+				}
+				if _, dup := typed[name]; dup {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				if seenSample[name] {
+					return nil, fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, name)
+				}
+				typed[name] = typ
+			default:
+				return nil, fmt.Errorf("line %d: unknown comment keyword %q", lineNo, fields[1])
+			}
+			continue
+		}
+		m, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		key := m.Key()
+		if seenSeries[key] {
+			return nil, fmt.Errorf("line %d: duplicate series %s", lineNo, key)
+		}
+		seenSeries[key] = true
+		seenSample[familyOf(m.Name)] = true
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// familyOf strips the histogram/summary sample suffixes so _bucket,
+// _sum and _count lines attach to their declared family.
+func familyOf(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf)
+		}
+	}
+	return name
+}
+
+func parseSample(line string) (Metric, error) {
+	m := Metric{}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return m, fmt.Errorf("malformed sample %q", line)
+	} else {
+		m.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if !metricNameRe.MatchString(m.Name) {
+		return m, fmt.Errorf("bad metric name %q", m.Name)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return m, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err := parseLabels(rest[1:end])
+		if err != nil {
+			return m, err
+		}
+		m.Labels = labels
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimSpace(rest)
+	// A trailing timestamp is legal in the format; this exporter never
+	// writes one, and the linter rejects it to keep scrapes comparable.
+	if strings.ContainsAny(rest, " \t") {
+		return m, fmt.Errorf("unexpected trailing fields in %q", line)
+	}
+	v, err := parseValue(rest)
+	if err != nil {
+		return m, fmt.Errorf("bad value in %q: %w", line, err)
+	}
+	m.Value = v
+	return m, nil
+}
+
+func parseLabels(s string) (map[string]string, error) {
+	labels := make(map[string]string)
+	for len(s) > 0 {
+		eq := strings.Index(s, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("malformed label pair in %q", s)
+		}
+		name := s[:eq]
+		if !labelNameRe.MatchString(name) {
+			return nil, fmt.Errorf("bad label name %q", name)
+		}
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return nil, fmt.Errorf("unquoted value for label %q", name)
+		}
+		s = s[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(s); i++ {
+			ch := s[i]
+			if ch == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					val.WriteByte('\n')
+				case '\\', '"':
+					val.WriteByte(s[i])
+				default:
+					return nil, fmt.Errorf("bad escape \\%c in label %q", s[i], name)
+				}
+				continue
+			}
+			if ch == '"' {
+				s = s[i+1:]
+				closed = true
+				break
+			}
+			val.WriteByte(ch)
+		}
+		if !closed {
+			return nil, fmt.Errorf("unterminated value for label %q", name)
+		}
+		if _, dup := labels[name]; dup {
+			return nil, fmt.Errorf("duplicate label %q", name)
+		}
+		labels[name] = val.String()
+		s = strings.TrimPrefix(s, ",")
+	}
+	return labels, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return strconv.ParseFloat("+Inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-Inf", 64)
+	case "":
+		return 0, fmt.Errorf("missing value")
+	}
+	return strconv.ParseFloat(s, 64)
+}

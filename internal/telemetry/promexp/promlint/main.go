@@ -1,0 +1,108 @@
+// Command promlint validates /metrics scrapes of a live vasppower
+// run, as captured by the CI telemetry-scrape job: it lints each file
+// against the Prometheus text exposition format, and given two
+// consecutive scrapes asserts the stream's semantic invariants —
+// joules counters are monotone non-decreasing between scrapes, and
+// every NVML domain scope (gpu, memory, module, node) is present with
+// nonzero power and energy by the second scrape.
+//
+// Usage: promlint scrape1.txt [scrape2.txt]
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"vasppower/internal/telemetry/promexp"
+)
+
+func main() {
+	if len(os.Args) < 2 || len(os.Args) > 3 {
+		fmt.Fprintln(os.Stderr, "usage: promlint scrape1.txt [scrape2.txt]")
+		os.Exit(2)
+	}
+	scrapes := make([][]promexp.Metric, 0, 2)
+	for _, path := range os.Args[1:] {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err.Error())
+		}
+		ms, err := promexp.Parse(string(raw))
+		if err != nil {
+			fatal(fmt.Sprintf("%s: %v", path, err))
+		}
+		fmt.Printf("%s: %d samples, format OK\n", path, len(ms))
+		scrapes = append(scrapes, ms)
+	}
+	if len(scrapes) == 1 {
+		return
+	}
+	if err := checkMonotoneJoules(scrapes[0], scrapes[1]); err != nil {
+		fatal(err.Error())
+	}
+	if err := checkDomainsNonzero(scrapes[1]); err != nil {
+		fatal(err.Error())
+	}
+	fmt.Println("joules monotone, all four domain scopes live")
+}
+
+func checkMonotoneJoules(first, second []promexp.Metric) error {
+	prev := make(map[string]float64)
+	for _, m := range first {
+		if m.Name == "vasppower_energy_joules_total" {
+			prev[m.Key()] = m.Value
+		}
+	}
+	if len(prev) == 0 {
+		return fmt.Errorf("first scrape has no energy counters")
+	}
+	seen := 0
+	for _, m := range second {
+		if m.Name != "vasppower_energy_joules_total" {
+			continue
+		}
+		if v0, ok := prev[m.Key()]; ok {
+			seen++
+			if m.Value < v0 {
+				return fmt.Errorf("joules counter went backwards: %s %v -> %v", m.Key(), v0, m.Value)
+			}
+		}
+	}
+	if seen == 0 {
+		return fmt.Errorf("no energy counter survived between scrapes")
+	}
+	return nil
+}
+
+func checkDomainsNonzero(ms []promexp.Metric) error {
+	watts := make(map[string]bool) // domain → some series > 0
+	joules := make(map[string]bool)
+	for _, m := range ms {
+		d := m.Labels["domain"]
+		if d == "" || m.Value <= 0 {
+			continue
+		}
+		switch m.Name {
+		case "vasppower_power_watts":
+			watts[d] = true
+		case "vasppower_energy_joules_total":
+			joules[d] = true
+		}
+	}
+	var missing []string
+	for _, d := range []string{"gpu", "memory", "module", "node"} {
+		if !watts[d] || !joules[d] {
+			missing = append(missing, d)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("domain scopes without nonzero power+energy: %s", strings.Join(missing, ", "))
+	}
+	return nil
+}
+
+func fatal(msg string) {
+	fmt.Fprintln(os.Stderr, "promlint: "+msg)
+	os.Exit(1)
+}

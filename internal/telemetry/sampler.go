@@ -1,0 +1,226 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"vasppower/internal/hw/node"
+	"vasppower/internal/timeseries"
+)
+
+// timeEps absorbs float accumulation when comparing window edges to
+// trace ends.
+const timeEps = 1e-9
+
+// Sampler turns growing node traces into a sample stream. Each
+// registered host is walked incrementally: Poll emits one sample per
+// (whole interval, domain) pair recorded since the previous Poll,
+// using resumable segment cursors so a poll costs only the new
+// segments, not the whole trace.
+//
+// Stream time is per-host monotone across registrations: when a host
+// name is unregistered and later re-registered (the next repeat of a
+// sweep reuses "nid000001"), its stream clock resumes where it left
+// off, so downstream consumers — the Prometheus exporter's joules
+// counters, an omni streaming insert — see strictly increasing time
+// per host.
+type Sampler struct {
+	hub      *Hub
+	interval float64
+
+	mu     sync.Mutex
+	hosts  map[string]*hostState
+	clocks map[string]float64 // stream seconds already emitted per host name
+}
+
+type hostState struct {
+	n       *node.Node
+	offset  float64 // stream time of the trace's origin
+	pos     float64 // trace time already emitted
+	cursors map[node.Domain]*timeseries.Cursor
+}
+
+// NewSampler returns a sampler publishing into hub every interval
+// seconds of trace time.
+func NewSampler(hub *Hub, interval float64) (*Sampler, error) {
+	if hub == nil {
+		return nil, fmt.Errorf("telemetry: nil hub")
+	}
+	if !(interval > 0) || math.IsInf(interval, 1) { // rejects NaN too
+		return nil, fmt.Errorf("telemetry: sample interval %v, want finite > 0", interval)
+	}
+	return &Sampler{
+		hub:      hub,
+		interval: interval,
+		hosts:    make(map[string]*hostState),
+		clocks:   make(map[string]float64),
+	}, nil
+}
+
+// Interval returns the sample spacing in seconds.
+func (s *Sampler) Interval() float64 { return s.interval }
+
+// Register starts sampling a node under the given host name. Samples
+// already emitted under the same name (a previous registration) push
+// this registration's stream clock forward; the node's trace is read
+// from its current start, so register nodes with freshly reset traces.
+func (s *Sampler) Register(host string, n *node.Node) error {
+	if host == "" || n == nil {
+		return fmt.Errorf("telemetry: empty host or nil node")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.hosts[host]; ok {
+		return fmt.Errorf("telemetry: host %q already registered", host)
+	}
+	hs := &hostState{
+		n:       n,
+		offset:  s.clocks[host],
+		cursors: make(map[node.Domain]*timeseries.Cursor, 4),
+	}
+	for _, d := range node.Domains() {
+		hs.cursors[d] = timeseries.NewCursor(n.DomainTrace(d))
+	}
+	s.hosts[host] = hs
+	return nil
+}
+
+// Unregister stops sampling a host: any partial-interval tail of its
+// trace is flushed as one final (shorter) sample, the host's stream
+// clock is checkpointed for a future re-registration, and the host is
+// removed. Errors on unknown hosts.
+func (s *Sampler) Unregister(host string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	hs, ok := s.hosts[host]
+	if !ok {
+		return fmt.Errorf("telemetry: host %q not registered", host)
+	}
+	s.pollHostLocked(host, hs)
+	if dur := hs.n.TraceDuration(); dur > hs.pos+timeEps {
+		s.emitLocked(host, hs, hs.pos, dur)
+		hs.pos = dur
+	}
+	s.clocks[host] = hs.offset + hs.pos
+	delete(s.hosts, host)
+	return nil
+}
+
+// Poll walks every registered host's traces and publishes one sample
+// per domain for each whole interval recorded since the last Poll.
+// Returns the number of samples published. Hosts are visited in sorted
+// order, so the emission sequence is deterministic.
+func (s *Sampler) Poll() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.hosts))
+	for h := range s.hosts {
+		names = append(names, h)
+	}
+	sort.Strings(names)
+	total := 0
+	for _, h := range names {
+		total += s.pollHostLocked(h, s.hosts[h])
+	}
+	return total
+}
+
+// pollHostLocked emits all whole-interval windows recorded since the
+// host's last poll.
+func (s *Sampler) pollHostLocked(host string, hs *hostState) int {
+	dur := hs.n.TraceDuration()
+	count := 0
+	for hs.pos+s.interval <= dur+timeEps {
+		end := hs.pos + s.interval
+		s.emitLocked(host, hs, hs.pos, math.Min(end, dur))
+		hs.pos = end
+		count += len(hs.cursors)
+	}
+	return count
+}
+
+// emitLocked publishes one window [a, b] across all domains. Domains
+// are emitted in decomposition order (gpu, memory, module, node), so a
+// scope-"" subscriber sees each timestamp's full breakdown together.
+func (s *Sampler) emitLocked(host string, hs *hostState, a, b float64) {
+	for _, d := range node.Domains() {
+		c := hs.cursors[d]
+		// Memoized domain traces are rebuilt after every Record; the
+		// cursor's segment index survives re-attachment because the new
+		// trace extends the old one.
+		c.Attach(hs.n.DomainTrace(d))
+		s.hub.Publish(Sample{
+			Host:   host,
+			Domain: d,
+			T:      hs.offset + b,
+			Watts:  c.MeanBetween(a, b),
+		})
+	}
+}
+
+// PublishRun streams a completed run's traces: each node is registered
+// (under its own name), fully drained, and unregistered, advancing the
+// per-host stream clocks. Nodes already registered are skipped (they
+// are being sampled live). This is the hook the workload layer calls
+// after every run when a process-wide sampler is installed.
+func (s *Sampler) PublishRun(nodes []*node.Node) {
+	for _, n := range nodes {
+		if n == nil {
+			continue
+		}
+		s.mu.Lock()
+		_, live := s.hosts[n.Name]
+		s.mu.Unlock()
+		if live {
+			continue
+		}
+		if err := s.Register(n.Name, n); err != nil {
+			continue
+		}
+		_ = s.Unregister(n.Name) // Unregister drains and flushes the tail
+	}
+}
+
+var defaultSink atomic.Pointer[Sampler]
+
+// SetDefault installs (or, with nil, removes) the process-wide sampler
+// that workload runs publish into. Install once at startup.
+func SetDefault(s *Sampler) { defaultSink.Store(s) }
+
+// ActiveSink returns the process-wide sampler, or nil when streaming
+// telemetry is off.
+func ActiveSink() *Sampler { return defaultSink.Load() }
+
+// SampleStore is the streaming-insert surface of a telemetry database
+// (omni.Store implements it).
+type SampleStore interface {
+	InsertSample(host, metric string, t, v float64) error
+}
+
+// Pump drains a subscription into a store until the subscription is
+// closed, mapping each sample to metric "power.<domain>" (distinct
+// from the batch pipeline's Cray PM metric names — "memory" there is
+// host DDR, "power.memory" here is HBM). Returns the number of samples
+// stored and the first insert error, if any; inserts continue past
+// errors so a single out-of-order sample cannot wedge the stream.
+func Pump(sub *Subscription, st SampleStore) (int, error) {
+	count := 0
+	var firstErr error
+	for {
+		smp, ok := sub.Next()
+		if !ok {
+			return count, firstErr
+		}
+		err := st.InsertSample(smp.Host, "power."+string(smp.Domain), smp.T, smp.Watts)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		count++
+	}
+}

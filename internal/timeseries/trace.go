@@ -208,6 +208,17 @@ func (t *Trace) AddConstant(k float64) *Trace {
 	return c
 }
 
+// Map returns a new trace with every power value replaced by f(power).
+// The result is rebuilt through Append, so adjacent segments whose
+// mapped powers coincide merge (the same contract as AddConstant).
+func (t *Trace) Map(f func(p float64) float64) *Trace {
+	c := &Trace{segs: make([]Segment, 0, len(t.segs))}
+	for _, s := range t.segs {
+		c.Append(s.Dur, f(s.Power))
+	}
+	return c
+}
+
 // Shift returns a new trace whose origin is moved by dt seconds
 // (dt >= 0): a zero-power segment of length dt is prepended.
 func (t *Trace) Shift(dt float64) *Trace {
@@ -442,6 +453,46 @@ func (t *Trace) SampleInstant(interval float64) Series {
 	}
 	countSamples(s.Len())
 	return s
+}
+
+// Cursor is an exported resumable window reader over a Trace — the
+// same segment-cursor walk Sample uses internally, packaged for
+// callers that read a growing trace incrementally (the streaming
+// telemetry sampler). Successive window starts must be non-decreasing;
+// each segment is then visited O(1) times amortized across the whole
+// walk instead of O(log n) per window.
+//
+// A cursor does not own the trace. When the underlying trace is a
+// rebuilt derived trace (a node's memoized TotalTrace is recomputed
+// after every Record), call Attach with the fresh pointer: as long as
+// the new trace extends the old one in time, the saved segment index
+// remains a valid starting point because the walk only ever advances
+// past segments that end at or before the next window start.
+type Cursor struct {
+	tr  *Trace
+	seg int
+}
+
+// NewCursor returns a cursor positioned at the start of tr.
+func NewCursor(tr *Trace) *Cursor { return &Cursor{tr: tr} }
+
+// Attach repoints the cursor at a trace that extends the previous one
+// (same history, possibly more appended). A shorter trace — which
+// violates the contract — degrades to a rescan from the start rather
+// than an out-of-range read.
+func (c *Cursor) Attach(tr *Trace) {
+	if c.seg > len(tr.segs) {
+		c.seg = 0
+	}
+	c.tr = tr
+}
+
+// MeanBetween returns the trace's average power over [a, b], counting
+// only the covered portion (semantics of Trace.MeanBetween), resuming
+// from the cursor's position. Window starts must not decrease across
+// calls.
+func (c *Cursor) MeanBetween(a, b float64) float64 {
+	return c.tr.meanBetweenFrom(&c.seg, a, b)
 }
 
 // powerAtFrom is PowerAt with a resumable cursor for non-decreasing

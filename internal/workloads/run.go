@@ -13,6 +13,7 @@ import (
 	"vasppower/internal/interconnect"
 	"vasppower/internal/par"
 	"vasppower/internal/rng"
+	"vasppower/internal/telemetry"
 )
 
 // RunSpec describes one measurement run following the paper's
@@ -135,6 +136,13 @@ func runRepeats(repeats, workers int, exec func(r int) (repeatRun, error)) (RunO
 		out.PhaseWindows[name] = w
 	}
 	out.PhaseWindows["vasp"] = [2]float64{best.start, best.end}
+	// Stream the selected repeat's traces into the process-wide
+	// telemetry sampler, when one is installed (-telemetry-addr). The
+	// sampler never blocks — slow subscribers shed load in their own
+	// rings — so this cannot slow a run down.
+	if s := telemetry.ActiveSink(); s != nil {
+		s.PublishRun(out.Nodes)
+	}
 	return out, nil
 }
 
