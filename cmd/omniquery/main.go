@@ -22,7 +22,6 @@ import (
 	"fmt"
 	"os"
 	"sort"
-	"time"
 
 	"vasppower"
 	"vasppower/internal/experiments"
@@ -30,6 +29,7 @@ import (
 	"vasppower/internal/obs"
 	"vasppower/internal/omni"
 	"vasppower/internal/report"
+	"vasppower/internal/serve"
 	"vasppower/internal/stats"
 	"vasppower/internal/telemetry"
 	"vasppower/internal/telemetry/promexp"
@@ -44,8 +44,10 @@ func main() {
 	cacheMaxBytes := flag.Int64("cache-max-bytes", 1<<30, "persistent cache size bound in bytes, LRU-evicted (0 = unbounded)")
 	telemetryAddr := flag.String("telemetry-addr", "",
 		"stream per-host per-domain power samples, pump them into the store as power.<domain> metrics, and serve Prometheus text at /metrics on this address")
+	hold := flag.Duration("hold", 0,
+		"keep the /metrics endpoint serving after the queries complete: a duration, or negative (e.g. -1s) to serve until SIGINT/SIGTERM (a signal always ends the hold early)")
 	telemetryHold := flag.Duration("telemetry-hold", 0,
-		"keep the /metrics endpoint serving this long after the queries complete")
+		"deprecated alias for -hold")
 	version := flag.Bool("version", false, "print module version, VCS revision, and dirty flag, then exit")
 	flag.Parse()
 
@@ -99,10 +101,15 @@ func main() {
 		defer ds.Close()
 		ds.Handle("/metrics", col)
 		fmt.Fprintf(os.Stderr, "omniquery: telemetry endpoint on http://%s/metrics\n", ds.Addr)
-		if *telemetryHold > 0 {
+		if *hold == 0 {
+			*hold = *telemetryHold // deprecated spelling
+		}
+		if *hold != 0 {
+			holdFor := *hold
 			defer func() {
-				fmt.Fprintf(os.Stderr, "omniquery: holding /metrics open for %s\n", *telemetryHold)
-				time.Sleep(*telemetryHold)
+				fmt.Fprintf(os.Stderr, "omniquery: holding /metrics open for %s\n", holdFor)
+				reason := serve.WaitForShutdown(holdFor)
+				fmt.Fprintf(os.Stderr, "omniquery: hold ended (%s)\n", reason)
 			}()
 		}
 		streamSub, err = hub.Subscribe("", 1<<16)

@@ -55,6 +55,7 @@ import (
 	"vasppower/internal/hw/platform"
 	"vasppower/internal/obs"
 	"vasppower/internal/par"
+	"vasppower/internal/serve"
 	"vasppower/internal/telemetry"
 	"vasppower/internal/telemetry/promexp"
 )
@@ -95,8 +96,10 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address (e.g. localhost:6060)")
 	telemetryAddr := flag.String("telemetry-addr", "",
 		"stream per-host per-domain power samples and serve them as Prometheus text at /metrics on this address (e.g. localhost:9100)")
+	hold := flag.Duration("hold", 0,
+		"keep the /metrics endpoint serving after the run completes: a duration, or negative (e.g. -1s) to serve until SIGINT/SIGTERM (a signal always ends the hold early)")
 	telemetryHold := flag.Duration("telemetry-hold", 0,
-		"keep the /metrics endpoint serving this long after the run completes, so scrapers can collect the final totals")
+		"deprecated alias for -hold")
 	version := flag.Bool("version", false, "print module version, VCS revision, and dirty flag, then exit")
 	flag.Parse()
 
@@ -168,10 +171,15 @@ func main() {
 			}
 			tds.Handle("/metrics", col)
 			fmt.Fprintf(os.Stderr, "powerstudy: telemetry endpoint on http://%s/metrics\n", tds.Addr)
-			if *telemetryHold > 0 {
+			if *hold == 0 {
+				*hold = *telemetryHold // deprecated spelling
+			}
+			if *hold != 0 {
+				holdFor := *hold
 				defer func() {
-					fmt.Fprintf(os.Stderr, "powerstudy: holding /metrics open for %s\n", *telemetryHold)
-					time.Sleep(*telemetryHold)
+					fmt.Fprintf(os.Stderr, "powerstudy: holding /metrics open for %s\n", holdFor)
+					reason := serve.WaitForShutdown(holdFor)
+					fmt.Fprintf(os.Stderr, "powerstudy: hold ended (%s)\n", reason)
 				}()
 			}
 		}

@@ -226,6 +226,23 @@ func Instrument(reg *obs.Registry) {
 	telemetry.SetMetrics(telemetry.NewMetrics(reg))
 }
 
+// SpecKey returns the canonical cache identity of spec: the string the
+// measurement cache keys it under, after applying the same defaults
+// CachedMeasureSpec applies. Two specs with equal SpecKeys are the
+// same measurement — the serving layer's response cache leans on this
+// to give semantically identical requests (reordered JSON fields,
+// explicit-vs-implicit defaults) one pre-serialized response.
+func SpecKey(spec core.MeasureSpec) string {
+	spec.Platform = platform.OrDefault(spec.Platform)
+	if spec.Nodes <= 0 {
+		spec.Nodes = 1
+	}
+	if spec.Repeats <= 0 {
+		spec.Repeats = 1
+	}
+	return measureKey(spec.Platform, spec.Bench, spec.Nodes, spec.Repeats, spec.CapW, spec.Seed, spec.Entropy)
+}
+
 // CachedMeasureSpec runs spec through the process-wide two-tier
 // measurement cache: memory, then the disk tier when EnableDiskCache
 // has attached one, then core.Measure. It is the entry point the CLIs
@@ -234,15 +251,7 @@ func Instrument(reg *obs.Registry) {
 // protocol defaults before keying, so equivalent specs hit the same
 // entry.
 func CachedMeasureSpec(spec core.MeasureSpec) (core.JobProfile, error) {
-	spec.Platform = platform.OrDefault(spec.Platform)
-	if spec.Nodes <= 0 {
-		spec.Nodes = 1
-	}
-	if spec.Repeats <= 0 {
-		spec.Repeats = 1
-	}
-	key := measureKey(spec.Platform, spec.Bench, spec.Nodes, spec.Repeats, spec.CapW, spec.Seed, spec.Entropy)
-	jp, _, err := cachedDo(key, spec)
+	jp, _, err := cachedDo(SpecKey(spec), spec)
 	return jp, err
 }
 

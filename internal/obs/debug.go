@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -82,10 +83,24 @@ func (d *DebugServer) Handle(pattern string, h http.Handler) {
 	d.mu.Unlock()
 }
 
-// Close stops the server and its listener.
+// Close stops the server and its listener immediately, dropping any
+// in-flight requests. Long-running services should prefer Shutdown.
 func (d *DebugServer) Close() error {
 	if d == nil {
 		return nil
 	}
 	return d.srv.Close()
+}
+
+// Shutdown drains the server gracefully: the listener closes to new
+// connections immediately, in-flight requests run to completion, and
+// idle keep-alive connections are closed. It returns when every
+// request has finished or ctx expires (whichever comes first, with
+// ctx's error in the latter case) — the contract powerd's
+// SIGTERM-drain leans on.
+func (d *DebugServer) Shutdown(ctx context.Context) error {
+	if d == nil {
+		return nil
+	}
+	return d.srv.Shutdown(ctx)
 }

@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"vasppower/internal/core"
+	"vasppower/internal/par"
+)
+
+// Batcher decomposes sweep requests into per-point measurement work
+// items and fans them out through a shared batch window: points
+// submitted by any request within one window are collected, deduped by
+// canonical spec key, and executed as a single par.ForEach fan-out.
+// Two clients sweeping overlapping cap ranges at the same moment
+// therefore share both the worker pool and the per-point work — each
+// distinct point is evaluated once per window, and the memo tiers
+// below dedupe across windows.
+//
+// The window trades a bounded latency floor (Window, ~ms) for
+// cross-request merging; Window <= 0 degenerates to per-submission
+// fan-out (no added latency, no merging) — the configuration unit
+// tests use for determinism.
+type Batcher struct {
+	measure func(core.MeasureSpec) (core.JobProfile, error)
+	keyFn   func(core.MeasureSpec) string
+	window  time.Duration
+	workers int
+	m       *Metrics
+
+	mu      sync.Mutex
+	pending map[string]*PointFlight // open window's points, by canonical key
+	batch   []*PointFlight          // same points, in submission order
+}
+
+// PointFlight is one in-flight (or completed) sweep point. Multiple
+// requests may hold the same flight; its result is set exactly once,
+// before done closes.
+type PointFlight struct {
+	spec core.MeasureSpec
+	done chan struct{}
+	jp   core.JobProfile
+	err  error
+}
+
+// Wait blocks until the point's evaluation completes (or ctx ends) and
+// returns its result.
+func (f *PointFlight) Wait(ctx context.Context) (core.JobProfile, error) {
+	select {
+	case <-f.done:
+		return f.jp, f.err
+	case <-ctx.Done():
+		return core.JobProfile{}, ctx.Err()
+	}
+}
+
+// NewBatcher builds a batcher executing points with measure on pools
+// of `workers` goroutines (0 = one per CPU), merging submissions that
+// land within window of the first.
+func NewBatcher(measure func(core.MeasureSpec) (core.JobProfile, error),
+	keyFn func(core.MeasureSpec) string,
+	window time.Duration, workers int, m *Metrics) *Batcher {
+	return &Batcher{
+		measure: measure, keyFn: keyFn,
+		window: window, workers: workers, m: m,
+		pending: make(map[string]*PointFlight),
+	}
+}
+
+// Enqueue registers one point in the open batch window, returning its
+// flight. A point whose canonical key is already pending joins the
+// existing flight (counted in serve.batch_merged). The first point of
+// a window arms the window timer; with Window <= 0 the submission
+// flushes immediately.
+func (b *Batcher) Enqueue(spec core.MeasureSpec) *PointFlight {
+	key := b.keyFn(spec)
+	b.mu.Lock()
+	if f, ok := b.pending[key]; ok {
+		b.mu.Unlock()
+		if b.m != nil {
+			b.m.BatchMerged.Inc()
+		}
+		return f
+	}
+	f := &PointFlight{spec: spec, done: make(chan struct{})}
+	b.pending[key] = f
+	b.batch = append(b.batch, f)
+	armed := len(b.batch) == 1
+	b.mu.Unlock()
+	if armed {
+		if b.window > 0 {
+			time.AfterFunc(b.window, b.flush)
+		} else {
+			go b.flush()
+		}
+	}
+	return f
+}
+
+// flush closes the open window and fans its points out. Points run in
+// submission order through the worker pool; each flight's result is
+// delivered to every waiter via its done channel. Errors stay
+// per-point (a failed point fails the sweeps containing it, not the
+// whole batch).
+func (b *Batcher) flush() {
+	b.mu.Lock()
+	batch := b.batch
+	b.batch = nil
+	b.pending = make(map[string]*PointFlight)
+	b.mu.Unlock()
+	if len(batch) == 0 {
+		return
+	}
+	if b.m != nil {
+		b.m.BatchFlushes.Inc()
+		b.m.BatchPoints.Add(int64(len(batch)))
+	}
+	par.ForEach(context.Background(), par.Workers(b.workers), len(batch),
+		func(_ context.Context, i int) error {
+			f := batch[i]
+			f.jp, f.err = b.measure(f.spec)
+			close(f.done)
+			return nil // per-point errors ride the flight, not the pool
+		})
+}
+
+// Measure runs specs through the batcher and assembles their profiles
+// by index, returning the first failing point's error (with its
+// index intact for the caller's message).
+func (b *Batcher) Measure(ctx context.Context, specs []core.MeasureSpec) ([]core.JobProfile, error) {
+	flights := make([]*PointFlight, len(specs))
+	for i, spec := range specs {
+		flights[i] = b.Enqueue(spec)
+	}
+	out := make([]core.JobProfile, len(specs))
+	for i, f := range flights {
+		jp, err := f.Wait(ctx)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = jp
+	}
+	return out, nil
+}

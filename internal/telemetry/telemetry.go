@@ -41,13 +41,25 @@ func NewHub() *Hub { return &Hub{} }
 // once full, the oldest sample is dropped per new sample. capacity
 // must be positive.
 func (h *Hub) Subscribe(domain node.Domain, capacity int) (*Subscription, error) {
+	return h.SubscribeHost("", domain, capacity)
+}
+
+// SubscribeHost registers a subscriber whose ring receives only the
+// named host's samples ("" receives every host), on top of the same
+// domain scoping Subscribe applies. A host-filtered ring is how a
+// per-job consumer (powerd's /v1/telemetry endpoint) follows one
+// node's power without paying for — or being drowned out by — the
+// rest of the cluster's stream: samples from other hosts are never
+// pushed, so they can neither occupy ring slots nor count against
+// this subscription's drops.
+func (h *Hub) SubscribeHost(host string, domain node.Domain, capacity int) (*Subscription, error) {
 	if capacity <= 0 {
 		return nil, fmt.Errorf("telemetry: subscription capacity %d, want > 0", capacity)
 	}
 	if domain != "" && !node.ValidDomain(domain) {
 		return nil, fmt.Errorf("telemetry: unknown domain scope %q", domain)
 	}
-	s := &Subscription{hub: h, domain: domain, buf: make([]Sample, capacity)}
+	s := &Subscription{hub: h, host: host, domain: domain, buf: make([]Sample, capacity)}
 	s.cond = sync.NewCond(&s.mu)
 	h.mu.Lock()
 	h.subs = append(h.subs, s)
@@ -66,7 +78,8 @@ func (h *Hub) Publish(smp Sample) {
 	h.mu.Unlock()
 	delivered := false
 	for _, s := range subs {
-		if s.domain == "" || s.domain == smp.Domain {
+		if (s.domain == "" || s.domain == smp.Domain) &&
+			(s.host == "" || s.host == smp.Host) {
 			s.push(smp)
 			delivered = true
 		}
@@ -106,6 +119,7 @@ func (h *Hub) Dropped() uint64 {
 // TryNext. All methods are safe for concurrent use.
 type Subscription struct {
 	hub    *Hub
+	host   string
 	domain node.Domain
 
 	mu      sync.Mutex
@@ -119,6 +133,9 @@ type Subscription struct {
 
 // Domain returns the subscription's domain scope ("" = all).
 func (s *Subscription) Domain() node.Domain { return s.domain }
+
+// Host returns the subscription's host scope ("" = all).
+func (s *Subscription) Host() string { return s.host }
 
 // push enqueues one sample, evicting the oldest on overflow. Never
 // blocks beyond the (short) critical section.

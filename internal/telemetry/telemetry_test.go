@@ -69,6 +69,51 @@ func TestDomainScope(t *testing.T) {
 	}
 }
 
+func TestHostScope(t *testing.T) {
+	h := NewHub()
+	one, err := h.SubscribeHost("nid000001", "", 8)
+	if err != nil {
+		t.Fatalf("SubscribeHost: %v", err)
+	}
+	oneGPU, _ := h.SubscribeHost("nid000001", node.DomainGPU, 8)
+	all, _ := h.Subscribe("", 8)
+	if one.Host() != "nid000001" || all.Host() != "" {
+		t.Fatalf("Host() = %q / %q", one.Host(), all.Host())
+	}
+	h.Publish(Sample{Host: "nid000001", Domain: node.DomainGPU, T: 1, Watts: 100})
+	h.Publish(Sample{Host: "nid000001", Domain: node.DomainNode, T: 1, Watts: 900})
+	h.Publish(Sample{Host: "nid000002", Domain: node.DomainGPU, T: 1, Watts: 300})
+	h.Publish(Sample{Host: "nid000002", Domain: node.DomainNode, T: 1, Watts: 950})
+	if got := one.Len(); got != 2 {
+		t.Fatalf("host-scoped subscriber buffered %d, want 2", got)
+	}
+	if got := oneGPU.Len(); got != 1 {
+		t.Fatalf("host+domain-scoped subscriber buffered %d, want 1", got)
+	}
+	if got := all.Len(); got != 4 {
+		t.Fatalf("unscoped subscriber buffered %d, want 4", got)
+	}
+	// The filtered ring never sees other hosts' samples — drain it
+	// fully and check every sample's host.
+	for {
+		smp, ok := one.TryNext()
+		if !ok {
+			break
+		}
+		if smp.Host != "nid000001" {
+			t.Fatalf("host-scoped subscriber saw %+v", smp)
+		}
+	}
+	// Other hosts' traffic does not occupy ring slots either: flood
+	// with a different host and the scoped ring drops nothing.
+	for i := 0; i < 100; i++ {
+		h.Publish(Sample{Host: "nid000002", Domain: node.DomainNode, T: float64(i), Watts: 1})
+	}
+	if got := one.Dropped(); got != 0 {
+		t.Fatalf("host-scoped subscriber dropped %d under other-host flood, want 0", got)
+	}
+}
+
 func TestNextBlocksUntilPublishAndClose(t *testing.T) {
 	h := NewHub()
 	sub, _ := h.Subscribe("", 4)
