@@ -113,8 +113,11 @@ func (l *Limiter) Acquire(ctx context.Context, n int64) error {
 		}
 		if granted {
 			l.cur -= w.n
-			l.admitLocked()
 		}
+		// Re-run admission in both cases: we either returned capacity,
+		// or removed a queued waiter — and if that waiter was a large
+		// head-of-queue request, a smaller one behind it may now fit.
+		l.admitLocked()
 		l.mu.Unlock()
 		if l.m != nil {
 			l.m.Timeouts.Inc()

@@ -37,6 +37,16 @@ func putBuf(b *[]byte) { *b = (*b)[:0]; bufPool.Put(b) }
 
 var errBodyTooLarge = errors.New("request body exceeds 1 MiB")
 
+// bodyErrStatus distinguishes an oversized payload (413, so clients
+// know shrinking — not fixing — the body is the remedy) from a
+// transport-level read failure (400).
+func bodyErrStatus(err error) int {
+	if errors.Is(err, errBodyTooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
 // readBody reads the full request body into the pooled buffer,
 // without allocating while the body fits its capacity.
 func readBody(r *http.Request, bp *[]byte) ([]byte, error) {
@@ -47,6 +57,12 @@ func readBody(r *http.Request, bp *[]byte) ([]byte, error) {
 				return nil, errBodyTooLarge
 			}
 			b = append(b, 0)[:len(b)]
+			// append's growth overshoots; clamp the working capacity at
+			// the limit so an over-limit body can never fit in the slack
+			// and slip past the cap(b) >= maxBodyBytes check above.
+			if cap(b) > maxBodyBytes {
+				b = b[:len(b):maxBodyBytes]
+			}
 		}
 		n, err := r.Body.Read(b[len(b):cap(b)])
 		b = b[:len(b)+n]
@@ -314,7 +330,7 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 	defer putBuf(buf)
 	body, err := readBody(r, buf)
 	if err != nil {
-		s.httpError(w, http.StatusBadRequest, err.Error())
+		s.httpError(w, bodyErrStatus(err), err.Error())
 		return
 	}
 
@@ -456,9 +472,17 @@ func (req sweepRequest) toSpecs(maxPoints int) ([]core.MeasureSpec, *apiError) {
 		if from > to {
 			return nil, badRequest("from_w %g exceeds to_w %g", from, to)
 		}
-		n := int((to-from)/step) + 1
-		if n > maxPoints {
-			return nil, badRequest("sweep of %d points exceeds the %d-point limit; raise step_w or narrow the range", n, maxPoints)
+		// Validate the point count in float space: a tiny step_w makes
+		// (to-from)/step overflow int, and out-of-range float→int
+		// conversion yields an unspecified (on amd64, negative) value
+		// that would slip past the bound and panic in make.
+		pts := (to-from)/step + 1
+		if pts > float64(maxPoints) {
+			return nil, badRequest("sweep of %g points exceeds the %d-point limit; raise step_w or narrow the range", math.Floor(pts), maxPoints)
+		}
+		n := int(pts)
+		if n < 1 {
+			n = 1
 		}
 		specs := make([]core.MeasureSpec, 0, n)
 		for i := 0; i < n; i++ {
@@ -522,7 +546,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	defer putBuf(buf)
 	body, err := readBody(r, buf)
 	if err != nil {
-		s.httpError(w, http.StatusBadRequest, err.Error())
+		s.httpError(w, bodyErrStatus(err), err.Error())
 		return
 	}
 	if e := s.cache.lookup(body); e != nil {
@@ -735,7 +759,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	defer putBuf(buf)
 	body, err := readBody(r, buf)
 	if err != nil {
-		s.httpError(w, http.StatusBadRequest, err.Error())
+		s.httpError(w, bodyErrStatus(err), err.Error())
 		return
 	}
 	if e := s.cache.lookup(body); e != nil {

@@ -41,10 +41,23 @@ type respCache struct {
 const respShardCount = 64
 
 type respShard struct {
-	mu      sync.Mutex
-	entries map[string]*respEntry // canonical key → entry (may be in flight)
-	aliases map[string]*respEntry // verbatim body → completed entry
+	mu         sync.Mutex
+	entries    map[string]*respEntry // canonical key → entry (may be in flight)
+	aliases    map[string]*respEntry // verbatim body → completed entry
+	aliasBytes int                   // total key bytes resident in aliases
 }
+
+// Alias keys copy verbatim request bodies, and whitespace/field-order
+// variants of one valid spec give a client unlimited distinct bodies
+// that all alias successfully — so aliases must be bounded in bytes,
+// not just count. Bodies over maxAliasBody (far above any legitimate
+// request; those still hit the canonical index after a parse) are not
+// aliased at all, and a shard resets once its resident key bytes reach
+// maxAliasShardBytes (≈ 64 MiB across 64 shards).
+const (
+	maxAliasBody       = 4 << 10
+	maxAliasShardBytes = 1 << 20
+)
 
 // respEntry is one response's slot. done is closed exactly once after
 // status/body/err are set; readers touch them only after observing the
@@ -101,16 +114,21 @@ func (c *respCache) lookup(body []byte) *respEntry {
 // successful entry, so the next identical body skips parsing. The body
 // is copied (the caller's buffer is pooled and will be reused).
 func (c *respCache) alias(body []byte, e *respEntry) {
-	if e == nil || e.err != nil || e.status != 200 {
+	if e == nil || e.err != nil || e.status != 200 || len(body) > maxAliasBody {
 		return
 	}
 	s := &c.shards[fnv32a(body)%respShardCount]
-	key := string(body) // copies: aliases must own their keys
 	s.mu.Lock()
-	if len(s.aliases) >= c.maxPerShard {
-		s.aliases = make(map[string]*respEntry)
+	if _, ok := s.aliases[string(body)]; ok { // no-copy probe
+		s.mu.Unlock()
+		return
 	}
-	s.aliases[key] = e
+	if len(s.aliases) >= c.maxPerShard || s.aliasBytes+len(body) > maxAliasShardBytes {
+		s.aliases = make(map[string]*respEntry)
+		s.aliasBytes = 0
+	}
+	s.aliases[string(body)] = e // copies: aliases must own their keys
+	s.aliasBytes += len(body)
 	s.mu.Unlock()
 }
 

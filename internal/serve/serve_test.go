@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"math"
 	"net/http"
 	"net/http/httptest"
@@ -139,6 +140,43 @@ func TestSemanticDedup(t *testing.T) {
 	}
 }
 
+// TestAliasByteBound: alias keys copy verbatim request bodies, so a
+// client minting unlimited whitespace variants of one spec must not
+// pin unbounded memory. Bodies over maxAliasBody are never aliased
+// (they still dedupe through the canonical index), and a shard's
+// resident alias bytes never exceed maxAliasShardBytes.
+func TestAliasByteBound(t *testing.T) {
+	s, f := newTestServer(t, nil)
+	body := `{"bench":"Si256_hse"}` + strings.Repeat(" ", maxAliasBody)
+	for i := 0; i < 2; i++ {
+		if w := post(t, s, "/v1/measure", body); w.Code != 200 {
+			t.Fatalf("request %d: status %d body %s", i, w.Code, w.Body)
+		}
+	}
+	if _, aliases := s.cache.Len(); aliases != 0 {
+		t.Fatalf("oversized body registered %d aliases, want 0", aliases)
+	}
+	if n := f.evals.Load(); n != 1 {
+		t.Fatalf("evaluations = %d, want 1 (canonical dedup without alias)", n)
+	}
+
+	c := newRespCache(nil, 1<<20) // count bound far above the byte bound
+	e := &respEntry{done: make(chan struct{}), status: 200, body: []byte("{}")}
+	close(e.done)
+	pad := strings.Repeat(" ", 4000)
+	for i, inserted := 0, 0; inserted < 300; i++ {
+		vb := []byte(fmt.Sprintf(`{"i":%d}`, i) + pad)
+		if fnv32a(vb)%respShardCount != 0 {
+			continue // target one shard so the byte bound actually trips
+		}
+		c.alias(vb, e)
+		inserted++
+		if b := c.shards[0].aliasBytes; b > maxAliasShardBytes {
+			t.Fatalf("shard alias bytes %d exceed bound %d", b, maxAliasShardBytes)
+		}
+	}
+}
+
 // TestCoalescingBurst holds the single evaluation open while N
 // identical requests pile in: exactly one evaluation runs, everyone
 // gets the same bytes, and the followers count as coalesced.
@@ -224,10 +262,11 @@ func TestErrorPaths(t *testing.T) {
 	if w := get(t, s, "/v1/measure"); w.Code != http.StatusMethodNotAllowed {
 		t.Fatalf("GET /v1/measure: status %d, want 405", w.Code)
 	}
-	// Oversized body is rejected before any parsing.
+	// Oversized body is rejected before any parsing, with 413 so a
+	// well-behaved client can tell payload size from malformed JSON.
 	big := `{"bench":"` + strings.Repeat("x", maxBodyBytes) + `"}`
-	if w := post(t, s, "/v1/measure", big); w.Code != 400 {
-		t.Fatalf("oversized body: status %d, want 400", w.Code)
+	if w := post(t, s, "/v1/measure", big); w.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413", w.Code)
 	}
 	if n := f.evals.Load(); n != 0 {
 		t.Fatalf("invalid requests triggered %d evaluations", n)
@@ -314,6 +353,9 @@ func TestSweepErrors(t *testing.T) {
 		name, body, frag string
 	}{
 		{"oversized", `{"kind":"cap","bench":"Si256_hse","from_w":1,"to_w":1000,"step_w":1}`, "exceeds the 16-point limit"},
+		// A denormal step makes the float point count overflow int;
+		// it must be rejected in float space, not panic in make.
+		{"tiny step", `{"kind":"cap","bench":"Si256_hse","from_w":1,"to_w":400,"step_w":1e-300}`, "exceeds the 16-point limit"},
 		{"unknown kind", `{"kind":"zigzag","bench":"Si256_hse"}`, "unknown sweep kind"},
 		{"scaling without counts", `{"kind":"scaling","bench":"Si256_hse"}`, "node_counts"},
 		{"inverted range", `{"kind":"cap","bench":"Si256_hse","from_w":300,"to_w":100}`, "exceeds to_w"},
@@ -633,6 +675,42 @@ func TestLimiterFIFOAndCancel(t *testing.T) {
 	if got := l.InFlight(); got != 0 {
 		t.Fatalf("in-flight %d after release, want 0", got)
 	}
+}
+
+// TestLimiterCancelHeadAdmitsSmaller: canceling a queued (not yet
+// granted) head waiter must re-run admission — a smaller waiter behind
+// it that already fits the free capacity is admitted immediately, not
+// left blocked until the next Release.
+func TestLimiterCancelHeadAdmitsSmaller(t *testing.T) {
+	l := NewLimiter(4, 8, nil)
+	if err := l.Acquire(context.Background(), 3); err != nil {
+		t.Fatal(err)
+	}
+	ctxBig, cancelBig := context.WithCancel(context.Background())
+	bigErr := make(chan error, 1)
+	go func() { bigErr <- l.Acquire(ctxBig, 4) }() // can't fit: heads the queue
+	waitQueued(t, l, 1)
+	smallErr := make(chan error, 1)
+	go func() { smallErr <- l.Acquire(context.Background(), 1) }() // fits, but FIFO-blocked
+	waitQueued(t, l, 2)
+
+	cancelBig()
+	if err := <-bigErr; err != context.Canceled {
+		t.Fatalf("canceled head waiter got %v", err)
+	}
+	select {
+	case err := <-smallErr:
+		if err != nil {
+			t.Fatalf("small waiter got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("small waiter not admitted after head cancellation")
+	}
+	if got := l.InFlight(); got != 4 {
+		t.Fatalf("in-flight %d, want 4", got)
+	}
+	l.Release(3)
+	l.Release(1)
 }
 
 func waitQueued(t *testing.T, l *Limiter, n int) {
