@@ -17,7 +17,14 @@
 // The report is printed as JSON (and written to -out when given):
 //
 //	{"burst":N,"warm_requests":N,"warm_seconds":S,"warm_rps":R,
-//	 "p50_ms":...,"p99_ms":...,"errors":0}
+//	 "p50_ms":...,"p99_ms":...,"errors":0,
+//	 "cold_ns_op":...,"cold_b_op":...,"cold_allocs_op":...}
+//
+// The cold_* fields come from an in-process microbenchmark of the
+// handler's miss path (decode → validate → key → encode → alias, stub
+// evaluator) — the per-request cost the HTTP phases cannot isolate,
+// recorded in the same artifact so cold-path regressions are visible
+// next to the throughput numbers.
 //
 // loadgen exits non-zero on any non-200 response, body mismatch, or
 // transport error — load that corrupts answers is not load survived.
@@ -30,12 +37,18 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"testing"
 	"time"
+
+	"vasppower/internal/core"
+	"vasppower/internal/serve"
 )
 
 type report struct {
@@ -46,6 +59,11 @@ type report struct {
 	P50Ms        float64 `json:"p50_ms"`
 	P99Ms        float64 `json:"p99_ms"`
 	Errors       int64   `json:"errors"`
+
+	// Cold-path microbenchmark (in-process, stub evaluator).
+	ColdNsOp     int64 `json:"cold_ns_op"`
+	ColdBOp      int64 `json:"cold_b_op"`
+	ColdAllocsOp int64 `json:"cold_allocs_op"`
 }
 
 func main() {
@@ -71,6 +89,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
+	rep.ColdNsOp, rep.ColdBOp, rep.ColdAllocsOp = coldPath()
 	enc, _ := json.MarshalIndent(rep, "", "  ")
 	fmt.Println(string(enc))
 	if *out != "" {
@@ -156,6 +175,60 @@ func drive(client *http.Client, url, spec string, burst, conns int, duration tim
 		return rep, fmt.Errorf("warm phase completed no requests")
 	}
 	return rep, nil
+}
+
+// coldPath benchmarks the handler's cold request path in process: a
+// fresh serve pipeline with a stub evaluator, driven with a rotating
+// set of distinct binding caps so every request misses both cache
+// indexes (the tiny entry bound keeps the LRU churning). The numbers
+// isolate the serving layer's own per-miss cost — body read, strict
+// decode, validation, canonical keying, encode, alias registration —
+// which the HTTP phases cannot separate from transport and evaluation.
+func coldPath() (nsOp, bOp, allocsOp int64) {
+	s := serve.New(serve.Config{
+		Measure:      func(core.MeasureSpec) (core.JobProfile, error) { return core.JobProfile{}, nil },
+		BatchWindow:  -1,
+		CacheEntries: 64,
+	})
+	h := s.Handler()
+	bodies := make([][]byte, 512)
+	for i := range bodies {
+		// Caps stay strictly below the TDP: at or above it they
+		// canonicalize to uncapped and would share one warm entry.
+		bodies[i] = []byte(`{"bench":"Si256_hse","cap_w":` +
+			strconv.FormatFloat(100+float64(i)/2, 'g', -1, 64) + `}`)
+	}
+	body := &replayBody{}
+	req := &http.Request{Method: http.MethodPost, URL: &url.URL{Path: "/v1/measure"}, Body: body}
+	w := &discardWriter{h: make(http.Header, 4)}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			body.r.Reset(bodies[i%len(bodies)])
+			h.ServeHTTP(w, req)
+			w.reset()
+		}
+	})
+	return res.NsPerOp(), res.AllocedBytesPerOp(), res.AllocsPerOp()
+}
+
+// replayBody replays a request body from a resettable reader without
+// reallocating; discardWriter swallows responses reusing one header
+// map — together they keep the harness out of the measurement.
+type replayBody struct{ r bytes.Reader }
+
+func (b *replayBody) Read(p []byte) (int, error) { return b.r.Read(p) }
+func (b *replayBody) Close() error               { return nil }
+
+type discardWriter struct{ h http.Header }
+
+func (d *discardWriter) Header() http.Header         { return d.h }
+func (d *discardWriter) WriteHeader(int)             {}
+func (d *discardWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (d *discardWriter) reset() {
+	for k := range d.h {
+		delete(d.h, k)
+	}
 }
 
 func post(client *http.Client, url, spec string) ([]byte, error) {

@@ -148,6 +148,13 @@ func (spec MeasureSpec) withDefaults() MeasureSpec {
 	if spec.Workers == 0 {
 		spec.Workers = 1
 	}
+	// Non-binding caps normalize to the uncapped default: on the real
+	// machine the TDP is the default limit, so CapW 0, TDP, and
+	// anything above it are one measurement (and one cache identity —
+	// experiments.SpecKey applies the same rule).
+	if spec.CapW <= 0 || spec.CapW >= spec.Platform.GPU.TDP {
+		spec.CapW = 0
+	}
 	return spec
 }
 
@@ -192,10 +199,13 @@ type CapResponse struct {
 }
 
 // MeasureCapResponse measures the uncapped baseline and every
-// effective cap (below the platform GPU's TDP) concurrently across
-// spec.Workers goroutines and assembles the response in cap order
-// (spec.CapW is ignored; the caps argument drives the sweep). Each cap
-// point is an independent run at the same seed, so the response is
+// effective cap (below the platform GPU's TDP) and assembles the
+// response in cap order (spec.CapW is ignored; the caps argument
+// drives the sweep). The needed points are sharded across up to
+// spec.Workers sweep contexts, each of which resolves the schedule
+// once and re-runs only the cap solver per point; every point is
+// bit-identical to an independent run at the same seed (the retained
+// oracle, pinned by the differential tests), so the response is
 // identical for every worker count. Caps of 0 or ≥ TDP reuse the
 // baseline measurement, as on the real machine where the TDP is the
 // default limit.
@@ -213,22 +223,32 @@ func MeasureCapResponse(spec MeasureSpec, caps []float64) (CapResponse, error) {
 			need[i+1] = true
 		}
 	}
-	err := par.ForEach(context.Background(), par.Workers(spec.Workers), len(profiles),
-		func(_ context.Context, i int) error {
-			if !need[i] {
-				return nil
+	var idxs []int
+	for i, n := range need {
+		if n {
+			idxs = append(idxs, i)
+		}
+	}
+	workers := spec.Workers
+	if workers <= 0 || workers > len(idxs) {
+		workers = len(idxs)
+	}
+	err := par.ForEach(context.Background(), par.Workers(workers), workers,
+		func(_ context.Context, shard int) error {
+			sctx := NewSweepContext(spec)
+			defer sctx.Close()
+			for j := shard; j < len(idxs); j += workers {
+				i := idxs[j]
+				capW := 0.0
+				if i > 0 {
+					capW = caps[i-1]
+				}
+				jp, err := sctx.MeasureCap(capW)
+				if err != nil {
+					return err
+				}
+				profiles[i] = jp
 			}
-			pt := spec
-			pt.CapW = 0
-			pt.Workers = 1 // parallelism is across cap points here
-			if i > 0 {
-				pt.CapW = caps[i-1]
-			}
-			jp, err := Measure(pt)
-			if err != nil {
-				return err
-			}
-			profiles[i] = jp
 			return nil
 		})
 	if err != nil {

@@ -1,0 +1,112 @@
+// The two-phase measurement split: a SweepContext freezes everything a
+// measurement does that cannot depend on the GPU power cap (schedule
+// construction, kernel resolution through the platform efficiency
+// table, node allocation, noise-stream derivation), so a sweep pays
+// for it once and re-runs only the cap solver and trace recording per
+// point. The invariant the retained oracle (Measure, one full run per
+// point) enforces through the differential tests: a cap may change
+// kernel clocks, powers, and durations — never which kernels run,
+// which nodes they run on, or which noise they see.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"vasppower/internal/workloads"
+)
+
+// SweepContext is the reusable cap-independent state of one
+// measurement spec. Build it once per sweep, call MeasureCap per
+// point, and Close it to release the node arena. The first MeasureCap
+// call performs the resolution phase lazily, so a sweep whose points
+// are all served from a cache never allocates an arena at all.
+//
+// When the incremental engine is unavailable — a telemetry sink is
+// streaming (arena reuse would corrupt its cursors), or the spec needs
+// a path the engine does not cover — every point transparently falls
+// back to the retained oracle, Measure, which also reproduces any
+// construction error exactly where the old per-point path raised it.
+//
+// MeasureCap is safe for concurrent use (calls serialize on the
+// context's mutex; points are independent, so order does not matter).
+type SweepContext struct {
+	mu     sync.Mutex
+	spec   MeasureSpec
+	sw     *workloads.Sweep
+	oracle bool
+	inited bool
+	closed bool
+}
+
+// NewSweepContext prepares a context for sweeping spec across caps
+// (spec.CapW is ignored; each MeasureCap call supplies the cap).
+func NewSweepContext(spec MeasureSpec) *SweepContext {
+	spec = spec.withDefaults()
+	spec.CapW = 0
+	spec.Workers = 1 // parallelism belongs across points, repeats stay serial
+	return &SweepContext{spec: spec}
+}
+
+// MeasureCap measures the context's spec under one GPU power cap,
+// bit-identical to Measure with CapW: capW. Non-binding caps (<= 0 or
+// >= the platform GPU's TDP) run uncapped, matching MeasureSpec
+// normalization.
+func (c *SweepContext) MeasureCap(capW float64) (JobProfile, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return JobProfile{}, fmt.Errorf("core: sweep context is closed")
+	}
+	if capW <= 0 || capW >= c.spec.Platform.GPU.TDP {
+		capW = 0
+	}
+	if !c.inited {
+		c.inited = true
+		sw, err := workloads.NewSweep(workloads.RunSpec{
+			Bench:          c.spec.Bench,
+			Platform:       c.spec.Platform,
+			Nodes:          c.spec.Nodes,
+			Repeats:        c.spec.Repeats,
+			Seed:           c.spec.Seed,
+			Workers:        1,
+			OperandEntropy: c.spec.Entropy,
+		})
+		if err != nil {
+			// Oracle fallback: behavior-identical, including errors —
+			// whatever stopped the resolution phase (invalid bench,
+			// unresolvable kernel) stops the oracle at the same place
+			// with the same message, per point.
+			c.oracle = true
+		} else {
+			c.sw = sw
+		}
+	}
+	if c.oracle {
+		pt := c.spec
+		pt.CapW = capW
+		return Measure(pt)
+	}
+	out, err := c.sw.RunCap(capW)
+	if err != nil {
+		return JobProfile{}, err
+	}
+	// The profile deep-copies everything it keeps (sampled series,
+	// summaries), so it stays valid after the arena is reused or
+	// released.
+	jp := ProfileRun(out, DefaultSamplingInterval)
+	jp.Name = c.spec.Bench.Name
+	return jp, nil
+}
+
+// Close releases the context's node arena (a no-op if the resolution
+// phase never ran, e.g. every point was a cache hit). Idempotent.
+func (c *SweepContext) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	if c.sw != nil {
+		c.sw.Close()
+		c.sw = nil
+	}
+}

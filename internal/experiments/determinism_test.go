@@ -55,6 +55,62 @@ func TestRunCapStudyParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestSpecKeyCapNormalization: a cap at or above the platform's GPU
+// TDP is the stock power limit, so it must key identically to
+// uncapped, while a binding cap keys distinctly.
+func TestSpecKeyCapNormalization(t *testing.T) {
+	b, ok := workloads.ByName("Si256_hse")
+	if !ok {
+		t.Fatal("Si256_hse missing")
+	}
+	base := core.MeasureSpec{Bench: b}
+	uncapped := SpecKey(base)
+	tdp := quickCfg().platform().GPU.TDP
+	for _, capW := range []float64{tdp, tdp + 50, tdp * 10} {
+		s := base
+		s.CapW = capW
+		if got := SpecKey(s); got != uncapped {
+			t.Fatalf("cap %g W keys as %q, want uncapped key %q", capW, got, uncapped)
+		}
+	}
+	s := base
+	s.CapW = tdp - 150
+	if SpecKey(s) == uncapped {
+		t.Fatalf("binding %g W cap keys as uncapped", s.CapW)
+	}
+}
+
+// TestCachedMeasureGroupMatchesSpec: the group path (one shared
+// incremental sweep context) must be bit-identical to independent
+// CachedMeasureSpec calls, including a non-binding cap point that
+// shares the uncapped point's cache entry.
+func TestCachedMeasureGroupMatchesSpec(t *testing.T) {
+	b, ok := workloads.ByName("B.hR105_hse")
+	if !ok {
+		t.Fatal("B.hR105_hse missing")
+	}
+	spec := core.MeasureSpec{Bench: b, Nodes: 1, Repeats: 1, Seed: 11}
+	tdp := quickCfg().platform().GPU.TDP
+	caps := []float64{0, 250, tdp + 100}
+	ResetCache()
+	got, err := CachedMeasureGroup(spec, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ResetCache()
+	for i, capW := range caps {
+		pt := spec
+		pt.CapW = capW
+		want, err := CachedMeasureSpec(pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("cap %g W: group profile differs from per-point profile", capW)
+		}
+	}
+}
+
 // Hammer the shared measurement cache from many goroutines asking for
 // a handful of overlapping keys. Under -race this is the proof that
 // the singleflight cache and the measurement path are data-race free;

@@ -10,7 +10,6 @@ import (
 	"context"
 	"encoding/gob"
 	"strconv"
-	"strings"
 	"sync"
 
 	"vasppower/internal/core"
@@ -177,18 +176,46 @@ func DisableDiskCache() {
 // full precision — %.0f would alias ENCUT 410.4 with 410 and cap
 // 149.6 with 150.
 func measureKey(p platform.Platform, b workloads.Benchmark, nodes, repeats int, capW float64, seed uint64, entropy float64) string {
-	f := func(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
-	tableHash := ""
-	if p.Efficiency != nil {
-		tableHash = p.Efficiency.Hash()
+	return string(appendMeasureKey(nil, p, b, nodes, repeats, capW, seed, entropy))
+}
+
+// appendMeasureKey is measureKey into a caller-owned buffer — the
+// serving layer keys every request this way without allocating. A cap
+// at or above the GPU's TDP is the stock power limit, not a distinct
+// measurement, so it keys as uncapped (core.Measure normalizes the
+// spec the same way before running).
+func appendMeasureKey(dst []byte, p platform.Platform, b workloads.Benchmark, nodes, repeats int, capW float64, seed uint64, entropy float64) []byte {
+	if capW <= 0 || capW >= p.GPU.TDP {
+		capW = 0
 	}
-	return strings.Join([]string{
-		p.Name, tableHash, b.Name,
-		strconv.Itoa(b.NPLWV()), strconv.Itoa(b.NBands), strconv.Itoa(b.NBandsExact),
-		strconv.Itoa(b.NELM), f(b.ENCUT),
-		strconv.Itoa(nodes), f(capW), strconv.Itoa(repeats),
-		strconv.FormatUint(seed, 10), f(entropy),
-	}, "|")
+	dst = append(dst, p.Name...)
+	dst = append(dst, '|')
+	if p.Efficiency != nil {
+		dst = append(dst, p.Efficiency.Hash()...)
+	}
+	dst = append(dst, '|')
+	dst = append(dst, b.Name...)
+	dst = append(dst, '|')
+	dst = strconv.AppendInt(dst, int64(b.NPLWV()), 10)
+	dst = append(dst, '|')
+	dst = strconv.AppendInt(dst, int64(b.NBands), 10)
+	dst = append(dst, '|')
+	dst = strconv.AppendInt(dst, int64(b.NBandsExact), 10)
+	dst = append(dst, '|')
+	dst = strconv.AppendInt(dst, int64(b.NELM), 10)
+	dst = append(dst, '|')
+	dst = strconv.AppendFloat(dst, b.ENCUT, 'g', -1, 64)
+	dst = append(dst, '|')
+	dst = strconv.AppendInt(dst, int64(nodes), 10)
+	dst = append(dst, '|')
+	dst = strconv.AppendFloat(dst, capW, 'g', -1, 64)
+	dst = append(dst, '|')
+	dst = strconv.AppendInt(dst, int64(repeats), 10)
+	dst = append(dst, '|')
+	dst = strconv.AppendUint(dst, seed, 10)
+	dst = append(dst, '|')
+	dst = strconv.AppendFloat(dst, entropy, 'g', -1, 64)
+	return dst
 }
 
 // Instrument threads reg through every hot path the measurement
@@ -233,6 +260,14 @@ func Instrument(reg *obs.Registry) {
 // to give semantically identical requests (reordered JSON fields,
 // explicit-vs-implicit defaults) one pre-serialized response.
 func SpecKey(spec core.MeasureSpec) string {
+	return string(AppendSpecKey(nil, spec))
+}
+
+// AppendSpecKey appends SpecKey(spec) to dst and returns the extended
+// buffer — byte-identical to SpecKey, for callers (powerd's request
+// path, the sweep micro-batcher) that key requests without
+// allocating.
+func AppendSpecKey(dst []byte, spec core.MeasureSpec) []byte {
 	spec.Platform = platform.OrDefault(spec.Platform)
 	if spec.Nodes <= 0 {
 		spec.Nodes = 1
@@ -240,7 +275,7 @@ func SpecKey(spec core.MeasureSpec) string {
 	if spec.Repeats <= 0 {
 		spec.Repeats = 1
 	}
-	return measureKey(spec.Platform, spec.Bench, spec.Nodes, spec.Repeats, spec.CapW, spec.Seed, spec.Entropy)
+	return appendMeasureKey(dst, spec.Platform, spec.Bench, spec.Nodes, spec.Repeats, spec.CapW, spec.Seed, spec.Entropy)
 }
 
 // CachedMeasureSpec runs spec through the process-wide two-tier
@@ -253,6 +288,41 @@ func SpecKey(spec core.MeasureSpec) string {
 func CachedMeasureSpec(spec core.MeasureSpec) (core.JobProfile, error) {
 	jp, _, err := cachedDo(SpecKey(spec), spec)
 	return jp, err
+}
+
+// CachedMeasureGroup measures spec at each cap point through the same
+// two-tier cache as CachedMeasureSpec, but shares one incremental
+// sweep context (the cap-independent resolution phase) across every
+// point that actually computes. The context is built lazily on the
+// first cache miss, so a fully warm group touches only the cache; each
+// point still goes through cache.Do individually, keeping singleflight
+// dedup and disk write-back per point. Results are bit-identical to
+// per-point CachedMeasureSpec calls.
+func CachedMeasureGroup(spec core.MeasureSpec, caps []float64) ([]core.JobProfile, error) {
+	out := make([]core.JobProfile, len(caps))
+	var sctx *core.SweepContext
+	defer func() {
+		if sctx != nil {
+			sctx.Close()
+		}
+	}()
+	for i, capW := range caps {
+		pt := spec
+		pt.CapW = capW
+		jp, err := cache.Do(context.Background(), SpecKey(pt), func() (core.JobProfile, error) {
+			if sctx == nil {
+				base := spec
+				base.CapW = 0
+				sctx = core.NewSweepContext(base)
+			}
+			return sctx.MeasureCap(capW)
+		})
+		if err != nil {
+			return nil, err
+		}
+		out[i] = jp
+	}
+	return out, nil
 }
 
 // cachedDo is the shared lookup: memory → disk → compute, reporting
@@ -283,6 +353,46 @@ func measure(cfg Config, b workloads.Benchmark, nodes, repeats int, capW float64
 		Set("cache_hit", !computed).Set("error", err != nil)
 	sp.End()
 	return jp, err
+}
+
+// measureGroup is measure across a cap sweep of one benchmark: the
+// same per-point cache keys and "measure" spans, but points that miss
+// the cache share one incremental sweep context (built lazily on the
+// first miss, so a warm sweep never pays the resolution phase).
+// Results are bit-identical to per-point measure calls.
+func measureGroup(cfg Config, b workloads.Benchmark, nodes, repeats int, caps []float64) ([]core.JobProfile, error) {
+	p := cfg.platform()
+	out := make([]core.JobProfile, len(caps))
+	var sctx *core.SweepContext
+	defer func() {
+		if sctx != nil {
+			sctx.Close()
+		}
+	}()
+	for i, capW := range caps {
+		key := measureKey(p, b, nodes, repeats, capW, cfg.seed(), 0)
+		sp := cfg.Obs.Span("measure")
+		computed := false
+		jp, err := cache.Do(context.Background(), key, func() (core.JobProfile, error) {
+			computed = true
+			if sctx == nil {
+				sctx = core.NewSweepContext(core.MeasureSpec{
+					Bench: b, Platform: p, Nodes: nodes, Repeats: repeats,
+					Seed: cfg.seed(),
+				})
+			}
+			return sctx.MeasureCap(capW)
+		})
+		sp.Set("bench", b.Name).Set("platform", p.Name).Set("nodes", nodes).
+			Set("repeats", repeats).Set("cap_w", capW).
+			Set("cache_hit", !computed).Set("error", err != nil)
+		sp.End()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = jp
+	}
+	return out, nil
 }
 
 // ResetCache clears the measurement cache's memory tier (tests use it

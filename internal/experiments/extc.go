@@ -81,14 +81,31 @@ func RunExtC(cfg Config) (ExtCResult, error) {
 			// the target: bisection over the clock range, evaluating real
 			// runs and checking the exact trace maximum (DVFS gives no
 			// hardware guarantee, so compliance must hold at every instant,
-			// not just on 2 s averages).
+			// not just on 2 s averages). The nine evaluations re-solve the
+			// same resolved schedule, so they ride one incremental sweep
+			// context; if the engine declines the spec (e.g. an active
+			// telemetry sink), each point falls back to the oracle Run —
+			// either path is bit-identical.
 			gspec := cfg.platform().GPU
 			loMHz, hiMHz := gspec.MinClockFrac*gspec.MaxClockMHz, gspec.MaxClockMHz
+			spec := workloads.RunSpec{
+				Bench: b, Platform: cfg.platform(), Nodes: 1,
+				Repeats: cfg.repeats(), Seed: cfg.seed(),
+			}
+			sw, swErr := workloads.NewSweep(spec)
+			if swErr == nil {
+				defer sw.Close()
+			}
+			runAt := func(mhz float64) (workloads.RunOutput, error) {
+				if swErr == nil {
+					return sw.RunClockMHz(mhz)
+				}
+				pt := spec
+				pt.GPUClockLimitMHz = mhz
+				return workloads.Run(pt)
+			}
 			eval := func(mhz float64) (core.JobProfile, float64, error) {
-				out, err := workloads.Run(workloads.RunSpec{
-					Bench: b, Platform: cfg.platform(), Nodes: 1, Repeats: cfg.repeats(),
-					GPUClockLimitMHz: mhz, Seed: cfg.seed(),
-				})
+				out, err := runAt(mhz)
 				if err != nil {
 					return core.JobProfile{}, 0, err
 				}

@@ -64,24 +64,16 @@ func RunCapStudy(cfg Config) (CapStudyResult, error) {
 			benches = append(benches, b)
 		}
 	}
-	// Per benchmark: slot 0 is the uncapped baseline, slot 1+ci is
-	// Caps[ci] (measured only when the cap binds; a cap at or above
-	// the platform GPU's TDP is the default limit and reuses the
-	// baseline).
-	type cell struct {
-		jp  core.JobProfile
-		err error
-	}
+	// Per benchmark: one cap sweep — the uncapped baseline (slot 0)
+	// plus every binding cap — shares one incremental sweep context via
+	// measureGroup (a cap at or above the platform GPU's TDP is the
+	// default limit and reuses the baseline). The parallel shards go
+	// per benchmark so each group's resolution phase is paid once.
 	tdp := cfg.platform().GPU.TDP
-	stride := 1 + len(res.Caps)
-	cells := make([]cell, len(benches)*stride)
-	need := make([]bool, len(cells))
-	for bi := range benches {
-		need[bi*stride] = true
-		for ci, cap := range res.Caps {
-			if cap < tdp {
-				need[bi*stride+1+ci] = true
-			}
+	var binding []float64
+	for _, cap := range res.Caps {
+		if cap < tdp {
+			binding = append(binding, cap)
 		}
 	}
 	benchNodes := func(b workloads.Benchmark) int {
@@ -90,33 +82,31 @@ func RunCapStudy(cfg Config) (CapStudyResult, error) {
 		}
 		return b.OptimalNodes
 	}
-	par.ForEach(context.Background(), cfg.workers(), len(cells),
-		func(_ context.Context, i int) error {
-			if !need[i] {
-				return nil
-			}
-			b := benches[i/stride]
-			capW := 0.0
-			if r := i % stride; r > 0 {
-				capW = res.Caps[r-1]
-			}
-			cells[i].jp, cells[i].err = measure(cfg, b, benchNodes(b), cfg.repeats(), capW)
-			return cells[i].err
+	type sweep struct {
+		jps []core.JobProfile
+		err error
+	}
+	sweeps := make([]sweep, len(benches))
+	par.ForEach(context.Background(), cfg.workers(), len(benches),
+		func(_ context.Context, bi int) error {
+			caps := append([]float64{0}, binding...)
+			sweeps[bi].jps, sweeps[bi].err = measureGroup(
+				cfg, benches[bi], benchNodes(benches[bi]), cfg.repeats(), caps)
+			return sweeps[bi].err
 		})
 	for bi, b := range benches {
 		res.Nodes[b.Name] = benchNodes(b)
-		base := cells[bi*stride]
-		if base.err != nil {
-			return res, base.err
+		if sweeps[bi].err != nil {
+			return res, sweeps[bi].err
 		}
-		for ci, cap := range res.Caps {
-			jp := base.jp
+		jps := sweeps[bi].jps
+		base := jps[0]
+		bindIdx := 0
+		for _, cap := range res.Caps {
+			jp := base
 			if cap < tdp {
-				c := cells[bi*stride+1+ci]
-				if c.err != nil {
-					return res, c.err
-				}
-				jp = c.jp
+				bindIdx++
+				jp = jps[bindIdx]
 			}
 			pt := CapPoint{
 				CapW:    cap,
@@ -124,7 +114,7 @@ func RunCapStudy(cfg Config) (CapStudyResult, error) {
 				GPUMode: gpuMode(jp),
 			}
 			if jp.Runtime > 0 {
-				pt.RelPerf = base.jp.Runtime / jp.Runtime
+				pt.RelPerf = base.Runtime / jp.Runtime
 			}
 			if cap > 0 {
 				pt.ModeOverCap = pt.GPUMode / cap

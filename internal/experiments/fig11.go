@@ -30,13 +30,13 @@ func RunFig11(cfg Config) (Fig11Result, error) {
 	// The paper's Fig. 11 cap is 200 W = half the A100 TDP; keep the
 	// same fraction on other platforms.
 	res := Fig11Result{Bench: bench.Name, CapW: cfg.platform().GPU.TDP / 2}
-	var err error
-	if res.Uncapped, err = measure(cfg, bench, 1, cfg.repeats(), 0); err != nil {
+	// Both points solve the same resolved schedule, so they share one
+	// incremental sweep context through the group path.
+	jps, err := measureGroup(cfg, bench, 1, cfg.repeats(), []float64{0, res.CapW})
+	if err != nil {
 		return res, err
 	}
-	if res.Capped, err = measure(cfg, bench, 1, cfg.repeats(), res.CapW); err != nil {
-		return res, err
-	}
+	res.Uncapped, res.Capped = jps[0], jps[1]
 	un, cp := res.Uncapped.NodeTotal.Summary, res.Capped.NodeTotal.Summary
 	if un.Max > 0 {
 		res.PeakReduction = 1 - cp.Max/un.Max

@@ -1,0 +1,190 @@
+package gpu
+
+import "math"
+
+// CapSolver is the cap-independent half of one (device, kernel)
+// execution, built once per sweep by the incremental engine: every
+// constant of powerAt/timeAt/memPowerAt that does not depend on the
+// clock — resolved-profile products, the memory-side duration, the
+// static power base — hoisted out of the cap solver's bisection loop.
+// Solve then re-runs only the clock decision under the device's
+// current power and clock limits.
+//
+// Every hoisted value is a contiguous subtree of the original
+// expression, evaluated in the same order on the same inputs, so
+// Solve's Execution is bit-identical to Run's (pinned by the
+// differential tests in capsolver_test.go). The big win is the
+// memory-bound case — common across the VASP methods' FFT-heavy
+// schedules — where the kernel duration does not depend on the clock
+// at all and the bisection predicate collapses to a handful of flops.
+type CapSolver struct {
+	g *GPU
+	k Kernel
+	p ExecProfile
+
+	// Hoisted subtrees of timeAt.
+	latency float64
+	fcDen   float64 // ComputeOcc·PeakFlops (tc = Flops/(fcDen·c))
+	tm      float64 // memory-side duration, clock-independent
+
+	// Hoisted subtrees of powerAt.
+	base    float64 // IdleWatts·idleScale + ActiveBase·idleScale
+	eff     float64 // effScale (· PowerScale)
+	cs      float64 // CompPowerFull·smActivity(p)
+	gamma   float64 // Gamma
+	gamma3  float64 // 1−Gamma
+	idleP   float64 // powerAt's t ≤ 0 fallback
+	hbmIdle float64 // memPowerAt's t ≤ 0 fallback
+	effMemF float64 // eff·MemPowerFull (memPowerAt's dynamic factor)
+
+	// memBound: the kernel is memory-bound at every clock the device
+	// can run (tc(MinClockFrac) ≤ tm, and tc only shrinks as the clock
+	// rises), so duration, byte rate, and the SM duty cycle are all
+	// clock-independent and fold into constants.
+	memBound bool
+	tConst   float64 // latency + tm
+	csActive float64 // cs·active at the constant duration
+	memTerm  float64 // MemPowerFull·(byteRate/PeakMemBW), powerAt's tree
+	memPowC  float64 // memPowerAt at the constant duration
+}
+
+// NewCapSolver hoists the cap-independent constants of running k on g
+// under its resolved profile p. The profile must be g's own
+// Model().Resolve(k) result; given that, Solve is bit-identical to
+// g.Run(k) under every power and clock limit.
+func (g *GPU) NewCapSolver(k Kernel, p ExecProfile) CapSolver {
+	sp := g.Spec
+	s := CapSolver{
+		g:       g,
+		k:       k,
+		p:       p,
+		latency: p.Latency,
+		base:    sp.IdleWatts*g.idleScale + sp.ActiveBase*g.idleScale,
+		eff:     g.effScale,
+		cs:      sp.CompPowerFull * smActivity(p),
+		gamma:   sp.Gamma,
+		gamma3:  1 - sp.Gamma,
+		idleP:   g.IdlePower(),
+		hbmIdle: g.HBMIdlePower(),
+	}
+	if p.PowerScale != 0 {
+		s.eff *= p.PowerScale
+	}
+	s.effMemF = s.eff * sp.MemPowerFull
+	if k.Flops > 0 {
+		s.fcDen = p.ComputeOcc * sp.PeakFlops
+	}
+	if k.Bytes > 0 {
+		s.tm = k.Bytes / (p.MemOcc * sp.PeakMemBW)
+	}
+	// Memory-bound at the lowest clock ⇒ memory-bound everywhere: the
+	// compute-side duration only shrinks as the clock rises, so
+	// math.Max picks tm at every clock the bisection can visit.
+	tcMax := 0.0
+	if k.Flops > 0 {
+		tcMax = k.Flops / (s.fcDen * sp.MinClockFrac)
+	}
+	if tcMax <= s.tm {
+		s.memBound = true
+		t := s.latency + math.Max(tcMax, s.tm) // = latency + tm, Max kept for the tc == tm tie
+		s.tConst = t
+		if t > 0 {
+			byteRate := k.Bytes / t
+			active := 1.0
+			if p.Latency > 0 {
+				active = (t - p.Latency) / t
+				if active < 0 {
+					active = 0
+				}
+			}
+			s.csActive = s.cs * active
+			s.memTerm = sp.MemPowerFull * (byteRate / sp.PeakMemBW)
+			s.memPowC = s.hbmIdle + s.effMemF*(byteRate/sp.PeakMemBW)
+		}
+	}
+	return s
+}
+
+// powerAt mirrors (*GPU).powerAt with the hoisted constants.
+func (s *CapSolver) powerAt(c float64) float64 {
+	if s.memBound {
+		if s.tConst <= 0 {
+			return s.idleP
+		}
+		cf := s.gamma*c + s.gamma3*c*c*c
+		return s.base + s.eff*(s.csActive*cf+s.memTerm)
+	}
+	t := s.timeAt(c)
+	if t <= 0 {
+		return s.idleP
+	}
+	byteRate := s.k.Bytes / t
+	cf := s.gamma*c + s.gamma3*c*c*c
+	active := 1.0
+	if s.latency > 0 && t > 0 {
+		active = (t - s.latency) / t
+		if active < 0 {
+			active = 0
+		}
+	}
+	return s.base + s.eff*(s.cs*active*cf+
+		s.g.Spec.MemPowerFull*(byteRate/s.g.Spec.PeakMemBW))
+}
+
+// timeAt mirrors (*GPU).timeAt with the hoisted constants.
+func (s *CapSolver) timeAt(c float64) float64 {
+	if s.memBound {
+		return s.tConst
+	}
+	var tc float64
+	if s.k.Flops > 0 {
+		tc = s.k.Flops / (s.fcDen * c)
+	}
+	return s.latency + math.Max(tc, s.tm)
+}
+
+// memPowerAt mirrors (*GPU).memPowerAt with the hoisted constants.
+func (s *CapSolver) memPowerAt(c float64) float64 {
+	if s.memBound {
+		if s.tConst <= 0 {
+			return s.hbmIdle
+		}
+		return s.memPowC
+	}
+	t := s.timeAt(c)
+	if t <= 0 {
+		return s.hbmIdle
+	}
+	byteRate := s.k.Bytes / t
+	return s.hbmIdle + s.effMemF*(byteRate/s.g.Spec.PeakMemBW)
+}
+
+// Solve runs the cap solver under the device's current power and clock
+// limits — the same uncapped fast path, floor overshoot, and
+// 48-iteration bisection as (*GPU).runResolved, with the per-iteration
+// predicate reduced to the hoisted arithmetic.
+func (s *CapSolver) Solve() Execution {
+	g := s.g
+	cap := g.effectiveCap()
+	cMin := g.Spec.MinClockFrac
+	cMax := g.clockLimit
+	if pw := s.powerAt(cMax); pw <= cap {
+		return Execution{Duration: s.timeAt(cMax), Power: pw,
+			MemPower: s.memPowerAt(cMax), ClockFrac: cMax, Capped: cMax < 1}
+	}
+	if pw := s.powerAt(cMin); pw > cap {
+		return Execution{Duration: s.timeAt(cMin), Power: pw,
+			MemPower: s.memPowerAt(cMin), ClockFrac: cMin, Capped: true}
+	}
+	lo, hi := cMin, cMax
+	for i := 0; i < 48; i++ {
+		mid := (lo + hi) / 2
+		if s.powerAt(mid) <= cap {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return Execution{Duration: s.timeAt(lo), Power: s.powerAt(lo),
+		MemPower: s.memPowerAt(lo), ClockFrac: lo, Capped: true}
+}

@@ -348,6 +348,48 @@ func (n *Node) ResetTraces() {
 	}
 }
 
+// ResetTracesReuse clears all recorded traces like ResetTraces but
+// keeps each trace's segment storage — the arena reset the incremental
+// sweep engine applies between repeats and cap points so steady-state
+// re-solves append into already-sized backing arrays. Memoized derived
+// traces handed out earlier are unaffected (they own fresh storage).
+func (n *Node) ResetTracesReuse() {
+	n.totalCache, n.gpuSumCache, n.domainCaches = nil, nil, nil
+	n.cpuTrace.Reset()
+	n.memTrace.Reset()
+	for i := range n.gpuTraces {
+		n.gpuTraces[i].Reset()
+		n.gpuMemTraces[i].Reset()
+	}
+}
+
+// TraceBank is detachable trace storage for one node: the sweep engine
+// keeps the best repeat's traces in a bank while later repeats rebuild
+// into the node's working set, then swaps the winner back in. The zero
+// value is ready to use.
+type TraceBank struct {
+	cpu     timeseries.Trace
+	mem     timeseries.Trace
+	gpus    []timeseries.Trace
+	gpuMems []timeseries.Trace
+}
+
+// SwapTraces exchanges the node's recorded traces with the bank's and
+// invalidates the memoized derived traces. Device state (power and
+// clock limits) is untouched. Swapping is O(1): only slice headers
+// move.
+func (n *Node) SwapTraces(b *TraceBank) {
+	if len(b.gpus) != len(n.gpuTraces) {
+		b.gpus = make([]timeseries.Trace, len(n.gpuTraces))
+		b.gpuMems = make([]timeseries.Trace, len(n.gpuMemTraces))
+	}
+	n.totalCache, n.gpuSumCache, n.domainCaches = nil, nil, nil
+	n.cpuTrace, b.cpu = b.cpu, n.cpuTrace
+	n.memTrace, b.mem = b.mem, n.memTrace
+	n.gpuTraces, b.gpus = b.gpus, n.gpuTraces
+	n.gpuMemTraces, b.gpuMems = b.gpuMems, n.gpuMemTraces
+}
+
 // SetGPUPowerLimits applies the same cap to all GPUs, returning the
 // first error.
 func (n *Node) SetGPUPowerLimits(w float64) error {

@@ -53,6 +53,10 @@ const (
 	entryExt = ".cache"
 	quarExt  = ".quar"
 
+	// tmpPrefix names in-progress atomic writes; Open sweeps any left
+	// behind by a killed process.
+	tmpPrefix = "tmp-"
+
 	// maxHeaderStr bounds the epoch and key lengths a decoder will
 	// accept, so a corrupt length field cannot drive a huge allocation.
 	maxHeaderStr = 1 << 20
@@ -149,8 +153,19 @@ func Open(opts Options) (*Store, error) {
 	}
 	var found []scanned
 	err := filepath.WalkDir(opts.Dir, func(path string, d fs.DirEntry, err error) error {
-		if err != nil || d.IsDir() || !strings.HasSuffix(d.Name(), entryExt) {
+		if err != nil || d.IsDir() {
 			// A vanished or unreadable file is not an open failure.
+			return nil
+		}
+		if strings.HasPrefix(d.Name(), tmpPrefix) {
+			// A process killed mid-write leaves an orphaned temp file
+			// the rename never published. Sweep it: a cancelled sweep
+			// must not accumulate partial entries on disk. (Entries
+			// themselves are never partial — writes are rename-atomic.)
+			os.Remove(path)
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), entryExt) {
 			return nil
 		}
 		info, ierr := d.Info()
@@ -353,7 +368,7 @@ func (s *Store) writeAtomic(path string, data []byte) error {
 	if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), "tmp-*")
+	tmp, err := os.CreateTemp(filepath.Dir(path), tmpPrefix+"*")
 	if err != nil {
 		return err
 	}

@@ -177,6 +177,39 @@ func TestEveryTruncationDetected(t *testing.T) {
 	}
 }
 
+// TestOrphanTempFilesSweptOnOpen: a process killed mid-write (a
+// cancelled sweep, a crash) leaves a tmp-* file the atomic rename
+// never published. Open must delete it without indexing it, and the
+// published entries around it stay intact.
+func TestOrphanTempFilesSweptOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir, Epoch: "e1"})
+	payload := []byte("published entry")
+	s.Put("k", payload)
+	shard := filepath.Dir(entryFile(s, "k"))
+	orphans := []string{
+		filepath.Join(shard, "tmp-123456"),
+		filepath.Join(dir, "tmp-789"),
+	}
+	for _, p := range orphans {
+		if err := os.WriteFile(p, []byte("partial write"), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2 := mustOpen(t, Options{Dir: dir, Epoch: "e1"})
+	for _, p := range orphans {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Fatalf("orphan %s survived Open (err %v)", p, err)
+		}
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (orphans must not be indexed)", s2.Len())
+	}
+	if got, ok := s2.Get("k"); !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("published entry damaged by sweep: %q, %v", got, ok)
+	}
+}
+
 // TestEveryByteFlipDetected flips one bit in every byte position of a
 // valid entry: each flip must miss (the checksum, structure, or header
 // verification catches it), never return a wrong value.

@@ -24,6 +24,10 @@ import (
 // tests use for determinism.
 type Batcher struct {
 	measure func(core.MeasureSpec) (core.JobProfile, error)
+	// group, when non-nil, measures several cap points of one
+	// spec-minus-cap identity through a shared incremental sweep
+	// context (the resolution phase paid once per group per window).
+	group   func(core.MeasureSpec, []float64) ([]core.JobProfile, error)
 	keyFn   func(core.MeasureSpec) string
 	window  time.Duration
 	workers int
@@ -57,12 +61,16 @@ func (f *PointFlight) Wait(ctx context.Context) (core.JobProfile, error) {
 
 // NewBatcher builds a batcher executing points with measure on pools
 // of `workers` goroutines (0 = one per CPU), merging submissions that
-// land within window of the first.
+// land within window of the first. A non-nil group function lets a
+// flush run the points that share a spec-minus-cap identity through
+// one incremental sweep context; nil keeps the per-point path (tests
+// injecting a measure counter see every point).
 func NewBatcher(measure func(core.MeasureSpec) (core.JobProfile, error),
+	group func(core.MeasureSpec, []float64) ([]core.JobProfile, error),
 	keyFn func(core.MeasureSpec) string,
 	window time.Duration, workers int, m *Metrics) *Batcher {
 	return &Batcher{
-		measure: measure, keyFn: keyFn,
+		measure: measure, group: group, keyFn: keyFn,
 		window: window, workers: workers, m: m,
 		pending: make(map[string]*PointFlight),
 	}
@@ -116,11 +124,62 @@ func (b *Batcher) flush() {
 		b.m.BatchFlushes.Inc()
 		b.m.BatchPoints.Add(int64(len(batch)))
 	}
-	par.ForEach(context.Background(), par.Workers(b.workers), len(batch),
+	if b.group == nil {
+		par.ForEach(context.Background(), par.Workers(b.workers), len(batch),
+			func(_ context.Context, i int) error {
+				f := batch[i]
+				f.jp, f.err = b.measure(f.spec)
+				close(f.done)
+				return nil // per-point errors ride the flight, not the pool
+			})
+		return
+	}
+
+	// Collect points sharing a canonical spec-minus-cap identity into
+	// cap-sweep groups, in submission order; the fan-out goes per group
+	// so each group's resolution phase runs once.
+	type capGroup struct {
+		flights []*PointFlight
+		caps    []float64
+	}
+	groups := make(map[string]*capGroup, len(batch))
+	order := make([]*capGroup, 0, len(batch))
+	for _, f := range batch {
+		base := f.spec
+		base.CapW = 0
+		k := b.keyFn(base)
+		g, ok := groups[k]
+		if !ok {
+			g = &capGroup{}
+			groups[k] = g
+			order = append(order, g)
+		}
+		g.flights = append(g.flights, f)
+		g.caps = append(g.caps, f.spec.CapW)
+	}
+	par.ForEach(context.Background(), par.Workers(b.workers), len(order),
 		func(_ context.Context, i int) error {
-			f := batch[i]
-			f.jp, f.err = b.measure(f.spec)
-			close(f.done)
+			g := order[i]
+			if len(g.flights) > 1 {
+				if b.m != nil {
+					b.m.BatchGroups.Inc()
+				}
+				jps, err := b.group(g.flights[0].spec, g.caps)
+				if err == nil {
+					for fi, f := range g.flights {
+						f.jp = jps[fi]
+						close(f.done)
+					}
+					return nil
+				}
+				// Group failure: fall through to per-point evaluation so
+				// errors stay per-point (successful points re-resolve via
+				// the memo tiers, not a fresh computation).
+			}
+			for _, f := range g.flights {
+				f.jp, f.err = b.measure(f.spec)
+				close(f.done)
+			}
 			return nil // per-point errors ride the flight, not the pool
 		})
 }

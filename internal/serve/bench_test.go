@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -141,10 +142,13 @@ func BenchmarkColdMeasure(b *testing.B) {
 	h := s.Handler()
 	w := newDiscardWriter()
 	// Distinct cap per iteration defeats both cache indexes, so every
-	// request pays the full evaluate-and-encode path.
+	// request pays the full evaluate-and-encode path. Caps stay strictly
+	// below the TDP: at or above it they canonicalize to uncapped and
+	// would all land on one warm canonical entry.
 	bodies := make([][]byte, 512)
 	for i := range bodies {
-		bodies[i] = []byte(`{"bench":"Si256_hse","cap_w":` + itoa(100+i) + `}`)
+		bodies[i] = []byte(`{"bench":"Si256_hse","cap_w":` +
+			strconv.FormatFloat(100+float64(i)/2, 'g', -1, 64) + `}`)
 	}
 	body := &resettableBody{}
 	req := &http.Request{

@@ -160,14 +160,26 @@ func checkFinite(field string, v float64) *apiError {
 	return nil
 }
 
+// readerPool recycles the bytes.Reader feeding each strict decode.
+// json.Decoder has no Reset, so the decoder itself must be rebuilt per
+// request, but its input reader is the pool's to keep — one fewer
+// allocation on every cold request.
+var readerPool = sync.Pool{New: func() any { return new(bytes.Reader) }}
+
 func decodeStrict(body []byte, dst any) *apiError {
-	dec := json.NewDecoder(bytes.NewReader(body))
+	br := readerPool.Get().(*bytes.Reader)
+	br.Reset(body)
+	dec := json.NewDecoder(br)
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(dst); err != nil {
+	err := dec.Decode(dst)
+	// Trailing garbage after the JSON value is malformed too.
+	trailing := err == nil && dec.More()
+	br.Reset(nil) // drop the pooled body reference before returning br
+	readerPool.Put(br)
+	if err != nil {
 		return badRequest("malformed request: %v", err)
 	}
-	// Trailing garbage after the JSON value is malformed too.
-	if dec.More() {
+	if trailing {
 		return badRequest("malformed request: trailing data after JSON body")
 	}
 	return nil
@@ -281,12 +293,20 @@ func buildMeasureResponse(spec core.MeasureSpec, jp core.JobProfile) measureResp
 	if resolved.Repeats <= 0 {
 		resolved.Repeats = 1
 	}
+	// A cap at or above the GPU's TDP is the stock power limit, so the
+	// canonical cache key treats it as uncapped; echo the cap the same
+	// way, because cap_w=0 and cap_w>=TDP requests share one cached
+	// response entry and the bytes must not depend on which arrived
+	// first.
+	if resolved.CapW <= 0 || resolved.CapW >= resolved.Platform.GPU.TDP {
+		resolved.CapW = 0
+	}
 	resp := measureResponse{
 		Bench:    spec.Bench.Name,
 		Platform: resolved.Platform.Name,
 		Nodes:    resolved.Nodes,
 		Repeats:  resolved.Repeats,
-		CapW:     spec.CapW,
+		CapW:     resolved.CapW,
 		Seed:     spec.Seed,
 		Entropy:  spec.Entropy,
 		RuntimeS: jp.Runtime,
@@ -524,14 +544,19 @@ func (req sweepRequest) toSpecs(maxPoints int) ([]core.MeasureSpec, *apiError) {
 
 // sweepCanonKey hashes the ordered per-point canonical keys: two
 // sweeps are identical exactly when they expand to the same points in
-// the same order.
+// the same order. Each point's key is rendered into one pooled buffer
+// and hashed in place, so a large sweep allocates no per-point
+// strings.
 func sweepCanonKey(kind string, specs []core.MeasureSpec) string {
 	h := sha256.New()
 	io.WriteString(h, kind)
+	bp := getBuf()
 	for _, spec := range specs {
-		io.WriteString(h, "|")
-		io.WriteString(h, measureCanonKey(spec))
+		*bp = append((*bp)[:0], '|')
+		*bp = appendMeasureCanonKey(*bp, spec)
+		h.Write(*bp)
 	}
+	putBuf(bp)
 	return "sweep|" + hex.EncodeToString(h.Sum(nil))
 }
 

@@ -33,12 +33,16 @@ type Metrics struct {
 	LatencyMS *obs.Histogram
 
 	// Batch accounting: Flushes counts batch windows executed,
-	// BatchPoints the work items fanned out across them, and
-	// BatchMerged the sweep points that joined a point already pending
-	// in the same window (cross-request dedup at point granularity).
+	// BatchPoints the work items fanned out across them, BatchMerged
+	// the sweep points that joined a point already pending in the same
+	// window (cross-request dedup at point granularity), and
+	// BatchGroups the cap-sweep groups — points in one window sharing a
+	// spec-minus-cap identity — that rode one incremental sweep context
+	// instead of solving from scratch per point.
 	BatchFlushes *obs.Counter
 	BatchPoints  *obs.Counter
 	BatchMerged  *obs.Counter
+	BatchGroups  *obs.Counter
 }
 
 // latencyBucketsMS spans cached hits (tens of µs) through cold sweep
@@ -63,5 +67,6 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		BatchFlushes: reg.Counter("serve.batch_flushes"),
 		BatchPoints:  reg.Counter("serve.batch_points"),
 		BatchMerged:  reg.Counter("serve.batch_merged"),
+		BatchGroups:  reg.Counter("serve.batch_groups"),
 	}
 }

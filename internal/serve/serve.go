@@ -45,6 +45,12 @@ type Config struct {
 	// experiments.CachedMeasureSpec (the shared two-tier cache). Tests
 	// inject counters and gates here.
 	Measure func(core.MeasureSpec) (core.JobProfile, error)
+	// MeasureGroup evaluates one spec at several cap points through a
+	// shared incremental sweep context. It defaults to
+	// experiments.CachedMeasureGroup only when Measure is also
+	// defaulted; a test injecting Measure keeps the per-point path
+	// unless it supplies its own group function.
+	MeasureGroup func(core.MeasureSpec, []float64) ([]core.JobProfile, error)
 	// Workers bounds each batch window's fan-out pool (0 = one per
 	// CPU).
 	Workers int
@@ -103,6 +109,9 @@ const (
 func (c Config) withDefaults() Config {
 	if c.Measure == nil {
 		c.Measure = experiments.CachedMeasureSpec
+		if c.MeasureGroup == nil {
+			c.MeasureGroup = experiments.CachedMeasureGroup
+		}
 	}
 	if c.MaxInFlight <= 0 {
 		c.MaxInFlight = DefaultMaxInFlight
@@ -171,7 +180,7 @@ func New(cfg Config) *Server {
 	if window < 0 {
 		window = 0
 	}
-	s.batcher = NewBatcher(cfg.Measure, measureCanonKey, window, cfg.Workers, m)
+	s.batcher = NewBatcher(cfg.Measure, cfg.MeasureGroup, measureCanonKey, window, cfg.Workers, m)
 	s.telem.init(cfg.Hub, cfg.TelemetryRing)
 
 	s.mux.HandleFunc("/v1/measure", s.handleMeasure)
@@ -185,11 +194,24 @@ func New(cfg Config) *Server {
 	return s
 }
 
+// appendMeasureCanonKey appends measureCanonKey(spec) to dst without
+// allocating — the form the sweep hashing path and the batcher's
+// group keying use.
+func appendMeasureCanonKey(dst []byte, spec core.MeasureSpec) []byte {
+	dst = append(dst, "measure|"...)
+	return experiments.AppendSpecKey(dst, spec)
+}
+
 // measureCanonKey is the canonical identity shared with the memo
 // tiers, prefixed per endpoint so a sweep key can never collide with
-// a measure key.
+// a measure key. The key is built in a pooled buffer, so the only
+// allocation is the returned string itself.
 func measureCanonKey(spec core.MeasureSpec) string {
-	return "measure|" + experiments.SpecKey(spec)
+	bp := getBuf()
+	*bp = appendMeasureCanonKey((*bp)[:0], spec)
+	key := string(*bp)
+	putBuf(bp)
+	return key
 }
 
 // Handler returns the endpoint mux (the /v1/* tree plus /healthz).

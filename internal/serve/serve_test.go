@@ -5,10 +5,12 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io/fs"
 	"math"
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -17,12 +19,14 @@ import (
 	"time"
 
 	"vasppower/internal/core"
+	"vasppower/internal/experiments"
 	"vasppower/internal/hw/node"
 	"vasppower/internal/obs"
 	"vasppower/internal/omni"
 	"vasppower/internal/stats"
 	"vasppower/internal/telemetry"
 	"vasppower/internal/timeseries"
+	"vasppower/internal/workloads"
 )
 
 // fakeMeasure is a deterministic stand-in for the measurement engine:
@@ -747,7 +751,7 @@ func TestLimiterSaturation(t *testing.T) {
 func TestBatcherMerges(t *testing.T) {
 	f := &fakeMeasure{}
 	m := NewMetrics(obs.NewRegistry())
-	b := NewBatcher(f.fn, measureCanonKey, 20*time.Millisecond, 2, m)
+	b := NewBatcher(f.fn, nil, measureCanonKey, 20*time.Millisecond, 2, m)
 	specA := mustSpec(t, measureRequest{Bench: "Si256_hse", CapW: 250})
 	specB := mustSpec(t, measureRequest{Bench: "Si256_hse", CapW: 300})
 	fa1 := b.Enqueue(specA)
@@ -771,6 +775,270 @@ func TestBatcherMerges(t *testing.T) {
 	}
 	if m.BatchFlushes.Value() != 1 {
 		t.Fatalf("serve.batch_flushes = %d, want 1 (shared window)", m.BatchFlushes.Value())
+	}
+}
+
+// TestNonBindingCapCanonicalization: a cap at or above the platform
+// TDP is the stock power limit, so cap_w=0, cap_w=TDP, and cap_w>TDP
+// must share one canonical cache entry — one evaluation, identical
+// response bytes, and an echoed cap_w of 0 regardless of which form
+// arrived first.
+func TestNonBindingCapCanonicalization(t *testing.T) {
+	s, f := newTestServer(t, nil)
+	tdp := mustSpec(t, measureRequest{Bench: "Si256_hse"}).Platform.GPU.TDP
+	bodies := []string{
+		fmt.Sprintf(`{"bench":"Si256_hse","cap_w":%g}`, tdp+50),
+		`{"bench":"Si256_hse"}`,
+		`{"bench":"Si256_hse","cap_w":0}`,
+		fmt.Sprintf(`{"bench":"Si256_hse","cap_w":%g}`, tdp),
+	}
+	var first []byte
+	for i, body := range bodies {
+		w := post(t, s, "/v1/measure", body)
+		if w.Code != 200 {
+			t.Fatalf("request %d: status %d body %s", i, w.Code, w.Body)
+		}
+		if i == 0 {
+			first = append([]byte(nil), w.Body.Bytes()...)
+			continue
+		}
+		if !bytes.Equal(w.Body.Bytes(), first) {
+			t.Fatalf("request %d bytes differ from first:\n%s\n%s", i, w.Body, first)
+		}
+	}
+	if n := f.evals.Load(); n != 1 {
+		t.Fatalf("evaluations = %d, want 1 (non-binding caps share one entry)", n)
+	}
+	var resp measureResponse
+	if err := json.Unmarshal(first, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.CapW != 0 {
+		t.Fatalf("echoed cap_w = %g, want 0 (normalized)", resp.CapW)
+	}
+	// A binding cap stays a distinct identity.
+	w := post(t, s, "/v1/measure", `{"bench":"Si256_hse","cap_w":250}`)
+	if w.Code != 200 {
+		t.Fatalf("binding cap: status %d", w.Code)
+	}
+	if n := f.evals.Load(); n != 2 {
+		t.Fatalf("evaluations = %d, want 2 (binding cap is distinct)", n)
+	}
+}
+
+// TestSweepGroupPath: points of one sweep that share a spec-minus-cap
+// identity ride one MeasureGroup call (serve.batch_groups), and the
+// response bytes are identical to the per-point path's.
+func TestSweepGroupPath(t *testing.T) {
+	f := &fakeMeasure{}
+	var groupCalls atomic.Int64
+	group := func(spec core.MeasureSpec, caps []float64) ([]core.JobProfile, error) {
+		groupCalls.Add(1)
+		out := make([]core.JobProfile, len(caps))
+		for i, capW := range caps {
+			pt := spec
+			pt.CapW = capW
+			jp, err := f.fn(pt)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = jp
+		}
+		return out, nil
+	}
+	// A real window so all three points land in one flush.
+	s := New(Config{Measure: f.fn, MeasureGroup: group,
+		Reg: obs.NewRegistry(), BatchWindow: 20 * time.Millisecond})
+	body := `{"kind":"cap","bench":"Si256_hse","from_w":100,"to_w":200,"step_w":50}`
+	w := post(t, s, "/v1/sweep", body)
+	if w.Code != 200 {
+		t.Fatalf("status %d body %s", w.Code, w.Body)
+	}
+	if n := groupCalls.Load(); n != 1 {
+		t.Fatalf("group calls = %d, want 1", n)
+	}
+	if n := f.evals.Load(); n != 3 {
+		t.Fatalf("evaluations = %d, want 3", n)
+	}
+	if v := s.Metrics().BatchGroups.Value(); v != 1 {
+		t.Fatalf("serve.batch_groups = %d, want 1", v)
+	}
+	// The per-point path (no group fn) must produce identical bytes.
+	s2, _ := newTestServer(t, func(c *Config) { c.Measure = f.fn })
+	w2 := post(t, s2, "/v1/sweep", body)
+	if w2.Code != 200 {
+		t.Fatalf("per-point status %d", w2.Code)
+	}
+	if !bytes.Equal(w.Body.Bytes(), w2.Body.Bytes()) {
+		t.Fatalf("group-path bytes differ from per-point bytes:\n%s\n%s", w.Body, w2.Body)
+	}
+}
+
+// TestSweepGroupError: a failing group falls back to per-point
+// evaluation so errors stay per-point.
+func TestSweepGroupError(t *testing.T) {
+	f := &fakeMeasure{}
+	group := func(core.MeasureSpec, []float64) ([]core.JobProfile, error) {
+		return nil, fmt.Errorf("group exploded")
+	}
+	s := New(Config{Measure: f.fn, MeasureGroup: group,
+		Reg: obs.NewRegistry(), BatchWindow: 20 * time.Millisecond})
+	w := post(t, s, "/v1/sweep", `{"kind":"cap","bench":"Si256_hse","from_w":100,"to_w":200,"step_w":50}`)
+	if w.Code != 200 {
+		t.Fatalf("status %d body %s (group failure must fall back)", w.Code, w.Body)
+	}
+	if n := f.evals.Load(); n != 3 {
+		t.Fatalf("evaluations = %d, want 3 (per-point fallback)", n)
+	}
+}
+
+// TestSweepStreamCancelMidStream: cancelling a streaming sweep while a
+// point is still evaluating must emit a terminal NDJSON error record
+// for that point, return the handler, and release the admission
+// weight; the blocked evaluation drains in the background afterwards.
+func TestSweepStreamCancelMidStream(t *testing.T) {
+	block := make(chan struct{})
+	measure := func(spec core.MeasureSpec) (core.JobProfile, error) {
+		if spec.CapW == 200 { // last point of the sweep below
+			<-block
+		}
+		return core.JobProfile{Runtime: 1}, nil
+	}
+	s, _ := newTestServer(t, func(c *Config) { c.Measure = measure })
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req := httptest.NewRequest(http.MethodPost, "/v1/sweep",
+		strings.NewReader(`{"kind":"cap","bench":"Si256_hse","from_w":100,"to_w":200,"step_w":50,"stream":true}`)).
+		WithContext(ctx)
+	// Cancel once the first two points are streamed; the third is gated
+	// on block, so its Wait observes only the cancellation.
+	w := &lineSignalRecorder{ResponseRecorder: httptest.NewRecorder(), want: 2, ready: make(chan struct{})}
+	done := make(chan struct{})
+	go func() {
+		s.Handler().ServeHTTP(w, req)
+		close(done)
+	}()
+	select {
+	case <-w.ready:
+	case <-time.After(10 * time.Second):
+		t.Fatal("first two points never streamed")
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("handler did not return after cancellation")
+	}
+	close(block) // let the background flush drain
+
+	lines := strings.Split(strings.TrimSpace(w.Body.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d NDJSON lines, want 3 (2 points + terminal error): %q", len(lines), w.Body)
+	}
+	var terminal struct {
+		Error string `json:"error"`
+		Point int    `json:"point"`
+	}
+	if err := json.Unmarshal([]byte(lines[2]), &terminal); err != nil {
+		t.Fatalf("terminal line not JSON: %v", err)
+	}
+	if terminal.Point != 2 || !strings.Contains(terminal.Error, "context canceled") {
+		t.Fatalf("terminal record = %+v, want point 2 canceled", terminal)
+	}
+	if v := s.Metrics().Errors.Value(); v != 1 {
+		t.Fatalf("serve.errors = %d, want 1", v)
+	}
+	if v := s.limiter.InFlight(); v != 0 {
+		t.Fatalf("admission weight %d still held after cancelled stream", v)
+	}
+}
+
+// lineSignalRecorder closes ready once `want` NDJSON lines have been
+// written.
+type lineSignalRecorder struct {
+	*httptest.ResponseRecorder
+	want  int
+	lines int
+	ready chan struct{}
+	once  sync.Once
+}
+
+func (w *lineSignalRecorder) Write(p []byte) (int, error) {
+	n, err := w.ResponseRecorder.Write(p)
+	w.lines += bytes.Count(p[:n], []byte("\n"))
+	if w.lines >= w.want {
+		w.once.Do(func() { close(w.ready) })
+	}
+	return n, err
+}
+
+// cancelOnWriteRecorder cancels a context on the first body write —
+// the closest a test can get to a client dropping mid-stream.
+type cancelOnWriteRecorder struct {
+	*httptest.ResponseRecorder
+	cancel context.CancelFunc
+	once   sync.Once
+}
+
+func (w *cancelOnWriteRecorder) Write(p []byte) (int, error) {
+	w.once.Do(w.cancel)
+	return w.ResponseRecorder.Write(p)
+}
+
+// TestSweepStreamCancelReleasesArenaAndDisk drives the real engine
+// with a disk cache attached and drops the client at the first
+// streamed byte: however far evaluation got, the incremental sweep
+// arena must return to zero and the cache directory must hold only
+// whole, committed entries (no tmp-* files).
+func TestSweepStreamCancelReleasesArenaAndDisk(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := experiments.EnableDiskCache(dir, 0); err != nil {
+		t.Fatal(err)
+	}
+	defer experiments.DisableDiskCache()
+	experiments.ResetCache()
+	defer experiments.ResetCache()
+
+	before := workloads.ActiveSweeps()
+	s := New(Config{Reg: obs.NewRegistry(), BatchWindow: 10 * time.Millisecond})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req := httptest.NewRequest(http.MethodPost, "/v1/sweep",
+		strings.NewReader(`{"kind":"cap","bench":"B.hR105_hse","from_w":150,"to_w":350,"step_w":50,"stream":true}`)).
+		WithContext(ctx)
+	w := &cancelOnWriteRecorder{ResponseRecorder: httptest.NewRecorder(), cancel: cancel}
+	done := make(chan struct{})
+	go func() {
+		s.Handler().ServeHTTP(w, req)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("handler did not return after client drop")
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for workloads.ActiveSweeps() != before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := workloads.ActiveSweeps(); got != before {
+		t.Fatalf("ActiveSweeps = %d, want %d (arena leaked after dropped stream)", got, before)
+	}
+	tmp := 0
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasPrefix(d.Name(), "tmp-") {
+			tmp++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tmp != 0 {
+		t.Fatalf("%d tmp-* files left in the disk cache after dropped stream", tmp)
 	}
 }
 

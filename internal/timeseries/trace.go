@@ -63,6 +63,13 @@ func (t *Trace) Append(dur, power float64) {
 // not mutate).
 func (t *Trace) Segments() []Segment { return t.segs }
 
+// Reset empties the trace while keeping its segment storage for reuse
+// — the arena primitive behind incremental sweeps, where the same
+// traces are rebuilt once per cap point. Derived traces previously
+// handed out (Sum results, memoized node sensors) are unaffected: they
+// own fresh storage.
+func (t *Trace) Reset() { t.segs = t.segs[:0] }
+
 // Len returns the number of segments.
 func (t *Trace) Len() int { return len(t.segs) }
 
@@ -201,11 +208,18 @@ func (t *Trace) Scale(k float64) *Trace {
 // preallocated trace, so adjacent segments whose offset powers round
 // to the same value merge exactly as if appended directly.
 func (t *Trace) AddConstant(k float64) *Trace {
-	c := &Trace{segs: make([]Segment, 0, len(t.segs))}
+	return t.AddConstantInto(&Trace{segs: make([]Segment, 0, len(t.segs))}, k)
+}
+
+// AddConstantInto is AddConstant into a caller-owned trace, reusing
+// dst's segment storage (the sweep engine's arena form). dst is reset
+// first and must not be t; values are identical to AddConstant's.
+func (t *Trace) AddConstantInto(dst *Trace, k float64) *Trace {
+	dst.segs = dst.segs[:0]
 	for _, s := range t.segs {
-		c.Append(s.Dur, s.Power+k)
+		dst.Append(s.Dur, s.Power+k)
 	}
-	return c
+	return dst
 }
 
 // Map returns a new trace with every power value replaced by f(power).
@@ -272,8 +286,24 @@ func (c *sumCursor) boundary() float64 {
 // reference bit for bit (pinned by the differential tests against
 // sumReference).
 func Sum(traces ...*Trace) *Trace {
+	return SumInto(&Trace{}, traces...)
+}
+
+// SumInto computes Sum(traces...) into dst, reusing dst's segment
+// storage across calls — the allocation-free form the incremental
+// sweep engine uses to rebuild node sensor traces once per cap point.
+// dst is reset first and must not be one of the inputs. The merged
+// values are bit-identical to Sum's (it is the same cursor merge).
+func SumInto(dst *Trace, traces ...*Trace) *Trace {
 	const eps = 1e-12
-	cursors := make([]sumCursor, 0, len(traces))
+	// The cursor slice lives on the stack for any realistic component
+	// count (a node sums CPU + DDR + a handful of GPUs), keeping the
+	// steady-state call allocation-free.
+	var cbuf [8]sumCursor
+	cursors := cbuf[:0]
+	if len(traces) > len(cbuf) {
+		cursors = make([]sumCursor, 0, len(traces))
+	}
 	boundaries := 0
 	for _, tr := range traces {
 		// Empty traces contribute no breakpoints and no power (their
@@ -286,10 +316,14 @@ func Sum(traces ...*Trace) *Trace {
 		cursors = append(cursors, sumCursor{segs: tr.segs, dur: tr.Duration()})
 		boundaries += 2 * len(tr.segs)
 	}
-	if len(cursors) == 0 {
-		return &Trace{}
+	if cap(dst.segs) < boundaries {
+		dst.segs = make([]Segment, 0, boundaries)
+	} else {
+		dst.segs = dst.segs[:0]
 	}
-	out := &Trace{segs: make([]Segment, 0, boundaries)}
+	if len(cursors) == 0 {
+		return dst
+	}
 	first := true
 	var origin, prev float64
 	for {
@@ -335,22 +369,21 @@ func Sum(traces ...*Trace) *Trace {
 				}
 			}
 		}
-		out.Append(bv-prev, p)
+		// Normalize origin: Sum assumes all traces start at 0; if the
+		// first breakpoint is positive, lead with zero power from t=0.
+		// Appending it lazily, right before the first kept interval,
+		// reproduces the historical rebuild exactly: the zero lead-in
+		// merges with a zero-power first interval through Append's
+		// equal-power merge, and an all-deduplicated merge (no kept
+		// intervals) stays empty.
+		if len(dst.segs) == 0 && origin > eps {
+			dst.Append(origin, 0)
+		}
+		dst.Append(bv-prev, p)
 		prev = bv
 	}
-	// Normalize origin: Sum assumes all traces start at 0; if the first
-	// breakpoint is positive, prepend zero power from t=0.
-	if len(out.segs) > 0 && origin > eps {
-		shifted := &Trace{segs: make([]Segment, 0, len(out.segs)+1)}
-		shifted.Append(origin, 0)
-		for _, s := range out.segs {
-			shifted.Append(s.Dur, s.Power)
-		}
-		countSumSegments(shifted.Len())
-		return shifted
-	}
-	countSumSegments(out.Len())
-	return out
+	countSumSegments(dst.Len())
+	return dst
 }
 
 // Concat appends all of src's segments (in order) to dst.

@@ -45,8 +45,21 @@ func (b Benchmark) NPW() int { return lattice.PlaneWavesPerBand(b.NPLWV()) }
 
 // TableI returns the seven benchmarks with the published parameters
 // (electrons/ions, functional, algorithm, NELM, NBANDS, FFT grids,
-// NPLWV, and k-point settings all match Table I).
+// NPLWV, and k-point settings all match Table I). The returned slice
+// is a fresh copy (Benchmark holds only value fields), so callers may
+// reorder or edit theirs.
 func TableI() []Benchmark {
+	out := make([]Benchmark, len(tableI))
+	copy(out, tableI)
+	return out
+}
+
+// tableI is the memoized table behind TableI, ByName, and Names —
+// lookups on the serving path must not rebuild seven Benchmark
+// literals per request.
+var tableI = buildTableI()
+
+func buildTableI() []Benchmark {
 	return []Benchmark{
 		{
 			Name:        "Si256_hse",
@@ -149,9 +162,10 @@ func TableI() []Benchmark {
 	}
 }
 
-// ByName returns the Table I benchmark with the given name.
+// ByName returns the Table I benchmark with the given name. It
+// allocates nothing — powerd resolves every request through it.
 func ByName(name string) (Benchmark, bool) {
-	for _, b := range TableI() {
+	for _, b := range tableI {
 		if b.Name == name {
 			return b, true
 		}
@@ -161,9 +175,8 @@ func ByName(name string) (Benchmark, bool) {
 
 // Names returns the benchmark names in Table I order.
 func Names() []string {
-	bs := TableI()
-	out := make([]string, len(bs))
-	for i, b := range bs {
+	out := make([]string, len(tableI))
+	for i, b := range tableI {
 		out[i] = b.Name
 	}
 	return out
